@@ -1,0 +1,63 @@
+// Command dmi-bench runs the online evaluation (paper §5.3–§5.6): the
+// 27-task benchmark across the interface × model matrix, regenerating
+// Table 3, Figure 5a/5b, Figure 6, the one-shot statistic, and the token
+// accounting.
+//
+// Usage:
+//
+//	dmi-bench [-runs 3] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
+//
+// With no section flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/agent"
+	"repro/internal/bench"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "seeded repetitions per task (paper: 3)")
+	table3 := flag.Bool("table3", false, "print Table 3")
+	fig5a := flag.Bool("fig5a", false, "print Figure 5a")
+	fig5b := flag.Bool("fig5b", false, "print Figure 5b")
+	fig6 := flag.Bool("fig6", false, "print Figure 6")
+	oneshot := flag.Bool("oneshot", false, "print the §5.3 one-shot statistic")
+	tokens := flag.Bool("tokens", false, "print §5.4 token accounting")
+	flag.Parse()
+
+	all := !*table3 && !*fig5a && !*fig5b && !*fig6 && !*oneshot && !*tokens
+
+	fmt.Fprintln(os.Stderr, "offline phase: modeling Word, Excel, PowerPoint…")
+	models, err := agent.BuildModels()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modeling failed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "online phase: %d settings × 27 tasks × %d runs…\n",
+		len(bench.Matrix()), *runs)
+	rep := bench.Run(models, *runs)
+
+	w := os.Stdout
+	if all || *table3 {
+		rep.WriteTable3(w)
+		fmt.Fprintln(w)
+	}
+	if all || *fig5a || *fig5b {
+		rep.WriteFig5(w)
+	}
+	if all || *fig6 {
+		rep.WriteFig6(w)
+		fmt.Fprintln(w)
+	}
+	if all || *oneshot {
+		rep.WriteOneShot(w)
+		fmt.Fprintln(w)
+	}
+	if all || *tokens {
+		rep.WriteTokens(w, models)
+	}
+}

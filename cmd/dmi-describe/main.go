@@ -1,0 +1,79 @@
+// Command dmi-describe serializes an application's navigation topology in
+// the LLM-facing textual format (paper §3.3, §4.2) and reports token costs
+// (§5.4).
+//
+// Usage:
+//
+//	dmi-describe -app Word [-full] [-expand <node-id>] [-tokens]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/appkit"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/office/excel"
+	"repro/internal/office/slides"
+	"repro/internal/office/word"
+	"repro/internal/ung"
+)
+
+func main() {
+	app := flag.String("app", "Word", "application (Word, Excel, PowerPoint)")
+	full := flag.Bool("full", false, "serialize the complete forest instead of the core topology")
+	expand := flag.Int("expand", -1, "further_query: print the full substructure beneath this node id")
+	tokens := flag.Bool("tokens", false, "print token accounting only")
+	flag.Parse()
+
+	builders := map[string]func() *appkit.App{
+		"Word":       func() *appkit.App { return word.New().App },
+		"Excel":      func() *appkit.App { return excel.New().App },
+		"PowerPoint": func() *appkit.App { return slides.New(12).App },
+	}
+	build, ok := builders[*app]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(1)
+	}
+	g, _, err := ung.Rip(build(), ung.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := describe.NewModel(f)
+
+	if *expand >= 0 {
+		out, err := m.SerializeSubtree(*expand)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	core := m.Serialize(describe.CoreOptions())
+	fullText := m.Serialize(describe.FullOptions())
+	if *tokens {
+		cc, ct := describe.ControlsIn(core), describe.Tokens(core)
+		fc, ft := describe.ControlsIn(fullText), describe.Tokens(fullText)
+		fmt.Printf("%s core topology: %d controls, %d tokens (%.1f tokens/control)\n",
+			*app, cc, ct, float64(ct)/float64(cc))
+		fmt.Printf("%s full topology: %d controls, %d tokens (%.1f tokens/control)\n",
+			*app, fc, ft, float64(ft)/float64(fc))
+		return
+	}
+	if *full {
+		fmt.Println(fullText)
+		return
+	}
+	fmt.Println(core)
+}

@@ -1,0 +1,99 @@
+// Command dmi-tasks lists the benchmark tasks and runs individual ones
+// verbosely — the debugging companion to cmd/dmi-bench.
+//
+// Usage:
+//
+//	dmi-tasks -list
+//	dmi-tasks -run ppt-background [-iface dmi|gui|forest] [-model medium|minimal|mini] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/agent"
+	"repro/internal/llm"
+	"repro/internal/osworld"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list all benchmark tasks")
+	run := flag.String("run", "", "task id to run")
+	iface := flag.String("iface", "dmi", "interface: dmi, gui, forest")
+	model := flag.String("model", "medium", "model: medium, minimal, mini")
+	runs := flag.Int("runs", 3, "seeded repetitions")
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "id\tapp\tplan steps\tdescription")
+		for _, t := range osworld.All() {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", t.ID, t.App, len(t.Plan), t.Description)
+		}
+		tw.Flush()
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	task, ok := osworld.ByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown task %q (use -list)\n", *run)
+		os.Exit(1)
+	}
+	cfg := agent.Config{Interface: interfaceOf(*iface), Profile: profileOf(*model)}
+
+	fmt.Fprintln(os.Stderr, "modeling applications…")
+	models, err := agent.BuildModels()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("task %s (%s): %s\n", task.ID, task.App, task.Description)
+	fmt.Printf("config: %s, %s/%s, %d run(s)\n\n",
+		cfg.Interface, cfg.Profile.Name, cfg.Profile.Reasoning, *runs)
+	wins := 0
+	for r := 0; r < *runs; r++ {
+		out := agent.Run(models, task, cfg, llm.Rand("dmi-tasks", task.ID, r))
+		status := "FAIL"
+		if out.Success {
+			status = "ok"
+			wins++
+		}
+		fmt.Printf("run %d: %-4s steps=%d (core %d, one-shot %v) time=%s tokens=%d",
+			r+1, status, out.Steps, out.CoreSteps, out.OneShot,
+			out.Time.Round(1e9), out.Prompt+out.Completed)
+		if out.Failure != "" {
+			fmt.Printf(" failure=%s", out.Failure)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nsuccess rate: %d/%d\n", wins, *runs)
+}
+
+func interfaceOf(s string) agent.Interface {
+	switch s {
+	case "gui":
+		return agent.GUIOnly
+	case "forest":
+		return agent.GUIForest
+	default:
+		return agent.GUIDMI
+	}
+}
+
+func profileOf(s string) llm.Profile {
+	switch s {
+	case "minimal":
+		return llm.GPT5Minimal
+	case "mini":
+		return llm.GPT5Mini
+	default:
+		return llm.GPT5Medium
+	}
+}

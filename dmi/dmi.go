@@ -1,0 +1,197 @@
+// Package dmi is the public API of the DMI reproduction: the Declarative
+// Model Interface from "From Imperative to Declarative: Towards
+// LLM-friendly OS Interfaces for Boosted Computer-Use Agents" (EuroSys '26).
+//
+// The workflow mirrors the paper's two phases:
+//
+//	offline            online
+//	─────────────      ──────────────────────────────
+//	Rip(app)       →   NewSession(app, model)
+//	Transform(g)   →   session.Visit / SetScrollbarPos / GetTexts …
+//	NewModel(f)
+//
+// A quick start against the bundled PowerPoint simulator:
+//
+//	model, _ := dmi.Model(dmi.NewPowerPoint(12).App) // offline (throwaway instance)
+//	app := dmi.NewPowerPoint(12)                     // fresh online instance
+//	s := dmi.NewSession(app.App, model, dmi.ExecOptions{})
+//	blue := model.FindLeafByName("Blue")
+//	s.Visit([]dmi.Command{dmi.Access(model.ID(blue))})
+//
+// Everything re-exported here is implemented in the internal packages; see
+// DESIGN.md for the system inventory.
+package dmi
+
+import (
+	"repro/internal/appkit"
+	"repro/internal/core"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/office/excel"
+	"repro/internal/office/slides"
+	"repro/internal/office/word"
+	"repro/internal/uia"
+	"repro/internal/ung"
+)
+
+// Accessibility substrate --------------------------------------------------
+
+// Element is one control in an accessibility tree.
+type Element = uia.Element
+
+// Desktop owns the window stack, input dispatch, and the simulated clock.
+type Desktop = uia.Desktop
+
+// App is a simulated ribbon application built with the construction kit.
+type App = appkit.App
+
+// ControlType and the pattern vocabulary.
+type ControlType = uia.ControlType
+
+// Commonly used control types (the full 41-type vocabulary lives in the
+// substrate).
+const (
+	ButtonControl    = uia.ButtonControl
+	DocumentControl  = uia.DocumentControl
+	DataItemControl  = uia.DataItemControl
+	ListItemControl  = uia.ListItemControl
+	ScrollBarControl = uia.ScrollBarControl
+	SpinnerControl   = uia.SpinnerControl
+)
+
+// NoScroll marks a scroll axis that cannot scroll.
+const NoScroll = uia.NoScroll
+
+// The bundled case-study applications ---------------------------------------
+
+// WordApp is the simulated word processor.
+type WordApp = word.App
+
+// ExcelApp is the simulated spreadsheet.
+type ExcelApp = excel.App
+
+// PowerPointApp is the simulated presentation editor.
+type PowerPointApp = slides.App
+
+// NewWord builds a fresh Word simulator (optional initial paragraphs).
+func NewWord(paras ...string) *WordApp { return word.New(paras...) }
+
+// NewExcel builds a fresh Excel simulator (optional initial rows).
+func NewExcel(rows ...[]string) *ExcelApp { return excel.New(rows...) }
+
+// NewPowerPoint builds a fresh PowerPoint simulator with n slides.
+func NewPowerPoint(n int) *PowerPointApp { return slides.New(n) }
+
+// Offline phase ----------------------------------------------------------------
+
+// Graph is a UI Navigation Graph.
+type Graph = ung.Graph
+
+// RipConfig tunes GUI ripping.
+type RipConfig = ung.Config
+
+// RipStats reports offline modeling cost.
+type RipStats = ung.Stats
+
+// Rip builds the UNG of an application by DFS differential capture.
+// Ripping clicks every control: use a throwaway application instance.
+func Rip(app *App, cfg RipConfig) (*Graph, RipStats, error) { return ung.Rip(app, cfg) }
+
+// Forest is the path-unambiguous topology (main tree + shared subtrees).
+type Forest = forest.Forest
+
+// ForestNode is one position in the forest.
+type ForestNode = forest.Node
+
+// TransformOptions tunes the graph→forest transformation.
+type TransformOptions = forest.Options
+
+// TransformStats reports what the transformation did (including the naive
+// full-clone size of Figure 4).
+type TransformStats = forest.Stats
+
+// Transform decycles the graph and resolves merge nodes by cost-based
+// selective externalization.
+func Transform(g *Graph, opt TransformOptions) (*Forest, TransformStats, error) {
+	return forest.Transform(g, opt)
+}
+
+// TopologyModel binds a forest to its integer control identifiers and
+// renders the context-efficient descriptions.
+type TopologyModel = describe.Model
+
+// DescribeOptions tunes serialization.
+type DescribeOptions = describe.Options
+
+// CoreOptions returns the default core-topology settings (depth-limited,
+// large enumerations pruned).
+func CoreOptions() DescribeOptions { return describe.CoreOptions() }
+
+// FullOptions serializes the complete forest.
+func FullOptions() DescribeOptions { return describe.FullOptions() }
+
+// NewModel assigns identifiers over a forest.
+func NewModel(f *Forest) *TopologyModel { return describe.NewModel(f) }
+
+// Model runs the complete offline phase for an application instance: rip,
+// transform, identify. The instance is consumed (ripping mutates state).
+func Model(app *App) (*TopologyModel, error) {
+	g, _, err := ung.Rip(app, ung.Config{})
+	if err != nil {
+		return nil, err
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return describe.NewModel(f), nil
+}
+
+// EstimateTokens estimates the LLM token cost of a serialized topology.
+func EstimateTokens(serialized string) int { return describe.Tokens(serialized) }
+
+// Online phase -----------------------------------------------------------------
+
+// Session is the DMI runtime bound to one application and its model.
+type Session = core.Session
+
+// ExecOptions tunes the executor (retries, fuzzy matching, ablations).
+type ExecOptions = core.Options
+
+// Command is one structured visit command.
+type Command = core.Command
+
+// VisitResult is the structured feedback of one visit call.
+type VisitResult = core.VisitResult
+
+// StepError is the structured error fed back for replanning.
+type StepError = core.StepError
+
+// LabelMap labels the current screen for the interaction interfaces.
+type LabelMap = core.LabelMap
+
+// ScrollStatus reports a scrollbar position after a state declaration.
+type ScrollStatus = core.ScrollStatus
+
+// NewSession binds the DMI runtime to an application and its offline model.
+func NewSession(app *App, model *TopologyModel, opt ExecOptions) *Session {
+	return core.NewSession(app, model, opt)
+}
+
+// Access builds a control-access command.
+func Access(id int) Command { return core.Access(id) }
+
+// AccessRef builds a control-access command for a shared-subtree target.
+func AccessRef(id int, entryRefs ...int) Command { return core.AccessRef(id, entryRefs...) }
+
+// Input builds an access-and-input-text command.
+func Input(id int, text string) Command { return core.Input(id, text) }
+
+// Shortcut builds a shortcut-key command.
+func Shortcut(key string) Command { return core.Shortcut(key) }
+
+// FurtherQuery builds a topology-expansion command (-1 = whole forest).
+func FurtherQuery(ids ...int) Command { return core.FurtherQuery(ids...) }
+
+// ParseCommands decodes a JSON array of visit commands (raw LLM output).
+func ParseCommands(raw []byte) ([]Command, error) { return core.ParseCommands(raw) }

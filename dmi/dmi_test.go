@@ -1,0 +1,90 @@
+package dmi_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/dmi"
+)
+
+// TestPublicAPIEndToEnd exercises the documented workflow exactly as a
+// downstream user would: offline model, fresh instance, declarative calls.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	model, err := dmi.Model(dmi.NewPowerPoint(8).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NodeCount() < 3000 {
+		t.Fatalf("model too small: %d nodes", model.NodeCount())
+	}
+
+	app := dmi.NewPowerPoint(8)
+	s := dmi.NewSession(app.App, model, dmi.ExecOptions{})
+
+	// Access declaration.
+	target := model.FindLeafByName("Standard (4:3)")
+	if target == nil {
+		t.Fatal("target missing")
+	}
+	res := s.Visit([]dmi.Command{dmi.Access(model.ID(target))})
+	if !res.OK() {
+		t.Fatal(res.Err)
+	}
+	if app.Deck.SlideSize != "Standard (4:3)" {
+		t.Fatal("access declaration had no effect")
+	}
+
+	// State declaration.
+	lm := s.CaptureLabels()
+	sb := lm.Find("Slides Vertical Scroll Bar", dmi.ScrollBarControl)
+	st, serr := s.SetScrollbarPos(lm, sb, dmi.NoScroll, 100)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if st.V != 100 {
+		t.Fatalf("scroll status %v", st)
+	}
+
+	// Observation declaration + topology text.
+	core := s.CoreTopology()
+	if !strings.HasPrefix(core, "main-tree:") {
+		t.Fatal("core topology malformed")
+	}
+	if dmi.EstimateTokens(core) < 1000 {
+		t.Fatal("token estimate implausible")
+	}
+
+	// JSON command parsing (the raw LLM surface).
+	cmds, err := dmi.ParseCommands([]byte(`[{"id": 1}, {"shortcut_key": "ENTER"}]`))
+	if err != nil || len(cmds) != 2 {
+		t.Fatalf("ParseCommands: %v %d", err, len(cmds))
+	}
+}
+
+// TestOfflineArtifactsComposable: Rip → Transform → NewModel equals Model.
+func TestOfflineArtifactsComposable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	g, stats, err := dmi.Rip(dmi.NewWord().App, dmi.RipConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Explored == 0 || stats.Clicks == 0 {
+		t.Fatal("rip stats empty")
+	}
+	f, ts, err := dmi.Transform(g, dmi.TransformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.ForestNodes == 0 || f.NodeCount() != ts.ForestNodes {
+		t.Fatal("transform stats inconsistent")
+	}
+	m := dmi.NewModel(f)
+	if m.NodeCount() != f.NodeCount() {
+		t.Fatal("model ids incomplete")
+	}
+}

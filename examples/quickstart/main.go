@@ -1,0 +1,43 @@
+// Quickstart: model an application offline, then complete a task with a
+// single declarative call.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dmi"
+)
+
+func main() {
+	// Offline phase (paper §3.2–§3.3): rip a throwaway instance into a UI
+	// Navigation Graph, transform it into a path-unambiguous forest, and
+	// assign stable integer identifiers. The model is reusable for every
+	// fresh instance of the same application build.
+	model, err := dmi.Model(dmi.NewPowerPoint(12).App)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline model ready: %d identified controls\n", model.NodeCount())
+
+	// Online phase: bind a DMI session to a fresh application instance.
+	app := dmi.NewPowerPoint(12)
+	s := dmi.NewSession(app.App, model, dmi.ExecOptions{})
+
+	// Declare the goal — "switch the deck to the standard 4:3 size" — by
+	// naming the functional control. DMI performs all navigation (Design
+	// tab → Slide Size menu → item) deterministically.
+	target := model.FindLeafByName("Standard (4:3)")
+	if target == nil {
+		log.Fatal("control not in topology")
+	}
+	res := s.Visit([]dmi.Command{dmi.Access(model.ID(target))})
+	if !res.OK() {
+		log.Fatalf("visit failed: %v", res.Err)
+	}
+	fmt.Printf("visit([%d]) done in %d primitive UI actions\n",
+		model.ID(target), res.Executed[0].Clicks)
+	fmt.Printf("slide size is now %q\n", app.Deck.SlideSize)
+}

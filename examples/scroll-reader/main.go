@@ -1,0 +1,54 @@
+// Table 1, Task 2 — "show the area close to the end" — comparing the
+// imperative drag loop against the declarative state interface
+// set_scrollbar_pos(80%).
+//
+//	go run ./examples/scroll-reader
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dmi"
+)
+
+func main() {
+	model, err := dmi.Model(dmi.NewPowerPoint(12).App)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Imperative: iterative drag-observe rounds on the scrollbar thumb,
+	// each requiring coordinate reasoning and a visual check.
+	app := dmi.NewPowerPoint(12)
+	sb := app.Win.FindByAutomationID("sbSlides")
+	r := sb.Rect()
+	x := r.X + r.W/2
+	rounds := 0
+	for app.ThumbTop() < 4 && rounds < 10 {
+		// Drag down by a guessed amount, then "look" at the result.
+		if err := app.Desk.Drag(x, r.Y+10, x, r.Y+10+r.H/4); err != nil {
+			log.Fatal(err)
+		}
+		rounds++
+	}
+	fmt.Printf("imperative GUI: %d drag-observe rounds; first visible slide %d\n",
+		rounds, app.ThumbTop()+1)
+	if app.ThumbTop() < 4 {
+		fmt.Println("  (the coordinate-guessing drag loop never reached the target —")
+		fmt.Println("   the fragility Figure 2b illustrates)")
+	}
+
+	// Declarative: one state declaration; the interface reports the
+	// reached position as structured status.
+	app2 := dmi.NewPowerPoint(12)
+	s := dmi.NewSession(app2.App, model, dmi.ExecOptions{})
+	lm := s.CaptureLabels()
+	label := lm.Find("Slides Vertical Scroll Bar", dmi.ScrollBarControl)
+	st, serr := s.SetScrollbarPos(lm, label, dmi.NoScroll, 80)
+	if serr != nil {
+		log.Fatal(serr)
+	}
+	fmt.Printf("declarative DMI: set_scrollbar_pos(80%%) → status v=%.0f%%; first visible slide %d\n",
+		st.V, app2.ThumbTop()+1)
+}

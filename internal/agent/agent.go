@@ -1,0 +1,311 @@
+// Package agent implements the evaluated computer-use agents: a UFO-2-like
+// GUI-only baseline (multi-agent HostAgent/AppAgent workflow with action
+// sequences over visible controls), its ablation with the navigation forest
+// as prompt knowledge, and the DMI-integrated agent that plans globally
+// over the declarative interface (paper §5.1).
+//
+// The LLM is simulated (see internal/llm): the ground-truth plan is
+// stochastically corrupted through the profile's error channels, and all
+// resulting actions are executed for real against the simulated
+// application; success is verified from application state.
+package agent
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/llm"
+	"repro/internal/osworld"
+	"repro/internal/strutil"
+	"repro/internal/ung"
+
+	"repro/internal/office/excel"
+	"repro/internal/office/slides"
+	"repro/internal/office/word"
+)
+
+// Interface selects the evaluated configuration.
+type Interface int
+
+// Evaluated interfaces (Table 3 rows).
+const (
+	GUIOnly   Interface = iota // UFO2-as baseline
+	GUIForest                  // ablation: baseline + navigation forest as knowledge
+	GUIDMI                     // baseline + DMI declarative interface
+)
+
+// String names the configuration as in Table 3.
+func (i Interface) String() string {
+	switch i {
+	case GUIOnly:
+		return "GUI-only"
+	case GUIForest:
+		return "GUI-only+Nav.forest"
+	default:
+		return "GUI+DMI"
+	}
+}
+
+// Config is one evaluated agent configuration.
+type Config struct {
+	Interface Interface
+	Profile   llm.Profile
+	// StepCap bounds LLM calls per task (paper: 30).
+	StepCap int
+	// CoreOpt configures the DMI executor (robustness ablations).
+	CoreOpt core.Options
+	// TopologyMissRate injects offline-model staleness (paper §6,
+	// (In)accurate navigation topology). Default 0.02.
+	TopologyMissRate float64
+}
+
+func (c *Config) fill() {
+	if c.StepCap == 0 {
+		c.StepCap = 30
+	}
+	if c.TopologyMissRate == 0 {
+		c.TopologyMissRate = 0.06
+	}
+}
+
+// Outcome is the result of one task run.
+type Outcome struct {
+	Task    string
+	Success bool
+	// Steps counts LLM calls including the fixed 3-call framework
+	// overhead; CoreSteps excludes it (Figure 5b).
+	Steps     int
+	CoreSteps int
+	OneShot   bool // task intent completed in a single core call
+	Time      time.Duration
+	Prompt    int    // prompt tokens, summed over calls
+	Completed int    // completion tokens
+	Failure   string // failure channel tag ("" on success)
+}
+
+// Models carries the offline artifacts shared by every run: one modeled
+// forest per application (built from throwaway instances, as the paper's
+// offline phase) plus their serialized token costs.
+type Models struct {
+	ByApp      map[string]*describe.Model
+	CoreTokens map[string]int
+	FullTokens map[string]int
+}
+
+// BuildModels runs the offline phase for the three applications.
+func BuildModels() (*Models, error) {
+	m := &Models{
+		ByApp:      make(map[string]*describe.Model),
+		CoreTokens: make(map[string]int),
+		FullTokens: make(map[string]int),
+	}
+	build := map[string]func() *ung.Graph{
+		"Word": func() *ung.Graph {
+			g, _, _ := ung.Rip(word.New().App, ung.Config{})
+			return g
+		},
+		"Excel": func() *ung.Graph {
+			g, _, _ := ung.Rip(excel.New().App, ung.Config{})
+			return g
+		},
+		"PowerPoint": func() *ung.Graph {
+			g, _, _ := ung.Rip(slides.New(12).App, ung.Config{})
+			return g
+		},
+	}
+	for app, rip := range build {
+		g := rip()
+		f, _, err := forest.Transform(g, forest.Options{})
+		if err != nil {
+			return nil, err
+		}
+		model := describe.NewModel(f)
+		m.ByApp[app] = model
+		m.CoreTokens[app] = describe.Tokens(model.Serialize(describe.CoreOptions()))
+		m.FullTokens[app] = describe.Tokens(model.Serialize(describe.FullOptions()))
+	}
+	return m, nil
+}
+
+// Run executes one task under one configuration with a deterministic RNG.
+func Run(models *Models, task osworld.Task, cfg Config, rng *rand.Rand) Outcome {
+	cfg.fill()
+	env := task.Build()
+	model := models.ByApp[task.App]
+	d := &driver{
+		cfg:    cfg,
+		p:      cfg.Profile,
+		rng:    rng,
+		env:    env,
+		task:   task,
+		model:  model,
+		models: models,
+		sess:   core.NewSession(env.App, model, cfg.CoreOpt),
+	}
+	return d.run()
+}
+
+// driver executes one task run.
+type driver struct {
+	cfg    Config
+	p      llm.Profile
+	rng    *rand.Rand
+	env    *osworld.Env
+	task   osworld.Task
+	model  *describe.Model
+	models *Models
+	sess   *core.Session
+
+	steps      int
+	coreSteps  int
+	prompt     int
+	completion int
+	latency    time.Duration
+
+	gui guiCall
+
+	events []event
+	capped bool
+}
+
+// event records an error occurrence and whether the agent recovered.
+type event struct {
+	channel   string
+	recovered bool
+}
+
+func (d *driver) fail(channel string) { d.events = append(d.events, event{channel: channel}) }
+func (d *driver) recovered(channel string) {
+	d.events = append(d.events, event{channel: channel, recovered: true})
+}
+
+// call accounts one LLM round trip.
+func (d *driver) call(promptTokens int, core bool) {
+	d.steps++
+	if core {
+		d.coreSteps++
+	}
+	d.prompt += promptTokens
+	d.completion += d.p.CompletionTokens
+	d.latency += d.p.CallLatency(promptTokens)
+}
+
+func (d *driver) overCap() bool {
+	if d.steps >= d.cfg.StepCap {
+		d.capped = true
+		return true
+	}
+	return false
+}
+
+// chance draws a Bernoulli with probability p (clamped).
+func (d *driver) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return d.rng.Float64() < p
+}
+
+func (d *driver) run() Outcome {
+	start := d.env.App.Desk.Clock().Now()
+
+	// UFO-2 workflow overhead (§5.3): (1) HostAgent decomposes the task
+	// and activates the application.
+	d.call(d.framePrompt(), false)
+
+	// (2..k) AppAgent executes the delegated subtask.
+	aborted := false
+	switch d.cfg.Interface {
+	case GUIDMI:
+		aborted = d.runDMI()
+	default:
+		aborted = d.runGUI()
+	}
+
+	// (k+1) AppAgent verifies and hands off; (k+2) HostAgent verifies.
+	if !d.capped {
+		d.call(d.framePrompt(), false)
+		d.call(d.framePrompt(), false)
+	}
+
+	success := !aborted && !d.capped && d.env.Verify()
+	out := Outcome{
+		Task:      d.task.ID,
+		Success:   success,
+		Steps:     d.steps,
+		CoreSteps: d.coreSteps,
+		OneShot:   d.coreSteps <= 1,
+		Time:      d.latency + (d.env.App.Desk.Clock().Now() - start),
+		Prompt:    d.prompt,
+		Completed: d.completion,
+	}
+	if !success {
+		out.Failure = d.classify()
+	}
+	return out
+}
+
+// classify picks the failure channel: the first unrecovered error event,
+// the step cap, or a residual execution tag.
+func (d *driver) classify() string {
+	for _, ev := range d.events {
+		if !ev.recovered {
+			return ev.channel
+		}
+	}
+	if d.capped {
+		return osworld.FailStepCap
+	}
+	return osworld.FailExecution
+}
+
+// framePrompt is the token cost of a framework call (task description,
+// workflow state, screen labels). GUI-mode framework calls also carry a
+// screenshot; with DMI the framework plans over structured observations.
+func (d *driver) framePrompt() int {
+	screen := d.sess.CaptureLabels()
+	tokens := 900 + screen.Len()*8 + strutil.EstimateTokens(d.task.Description)
+	if d.cfg.Interface != GUIDMI {
+		tokens += 2500
+	}
+	return tokens
+}
+
+// intent is what the planner actually decided for one plan step after the
+// semantic error channels have spoken.
+type intent struct {
+	target  osworld.Target
+	skip    bool   // step silently dropped (e.g. forgetting Apply to All)
+	sibling bool   // divert to a sibling distractor after resolution
+	tag     string // failure channel if the decision was wrong
+}
+
+// intend applies the semantic error channels to one plan step.
+//
+// Semantic channels operate identically across interfaces, except that
+// imperative execution splits attention between policy and mechanism,
+// raising semantic slips (§5.6) — guiAttn carries that multiplier.
+func (d *driver) intend(step osworld.PlanStep, guiAttn float64) intent {
+	// Specific trap (control semantics, subtle semantics, ...).
+	if step.TrapKind != "" && d.chance(d.p.ControlSem*step.TrapWeight*guiAttn) {
+		if step.TrapAlt == nil {
+			return intent{skip: true, tag: step.TrapKind}
+		}
+		return intent{target: *step.TrapAlt, tag: step.TrapKind}
+	}
+	// Generic semantic misreading scaled by task and step ambiguity.
+	pSem := d.p.Semantic * (0.6 + d.task.Ambiguity + step.Ambiguity) * guiAttn
+	if d.chance(pSem) {
+		if step.TrapAlt != nil {
+			return intent{target: *step.TrapAlt, tag: osworld.FailAmbiguousTask}
+		}
+		return intent{target: step.Target, sibling: true, tag: osworld.FailAmbiguousTask}
+	}
+	return intent{target: step.Target}
+}

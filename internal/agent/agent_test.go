@@ -1,0 +1,113 @@
+package agent
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/osworld"
+)
+
+var (
+	modelsOnce sync.Once
+	models     *Models
+	modelsErr  error
+)
+
+func sharedModels(t *testing.T) *Models {
+	t.Helper()
+	modelsOnce.Do(func() { models, modelsErr = BuildModels() })
+	if modelsErr != nil {
+		t.Fatal(modelsErr)
+	}
+	return models
+}
+
+// oracle returns a profile with every error channel silenced: the planner
+// reproduces the ground-truth plan perfectly.
+func oracle() llm.Profile {
+	p := llm.GPT5Medium
+	p.Semantic, p.ControlSem, p.Grounding, p.Composite = 0, 0, 0, 0
+	p.NavPlanning, p.InstrNoise = 0, 0
+	p.Detect, p.Recover, p.KnowsApps = 1, 1, 1
+	return p
+}
+
+// TestOracleSolvesEverythingViaDMI is the central integration check: the
+// ground-truth plans, executed through the real DMI runtime against the
+// real application simulators, must satisfy every task verifier.
+func TestOracleSolvesEverythingViaDMI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	m := sharedModels(t)
+	cfg := Config{Interface: GUIDMI, Profile: oracle(), TopologyMissRate: -1}
+	for _, task := range osworld.All() {
+		task := task
+		t.Run(task.ID, func(t *testing.T) {
+			out := Run(m, task, cfg, llm.Rand("oracle-dmi", task.ID, 0))
+			if !out.Success {
+				t.Fatalf("oracle DMI failed: %+v", out)
+			}
+			if out.Steps < 4 {
+				t.Errorf("steps = %d, below the fixed framework overhead", out.Steps)
+			}
+		})
+	}
+}
+
+// TestOracleSolvesEverythingViaGUI checks the imperative path end to end.
+func TestOracleSolvesEverythingViaGUI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	m := sharedModels(t)
+	cfg := Config{Interface: GUIOnly, Profile: oracle(), TopologyMissRate: -1}
+	for _, task := range osworld.All() {
+		task := task
+		t.Run(task.ID, func(t *testing.T) {
+			out := Run(m, task, cfg, llm.Rand("oracle-gui", task.ID, 0))
+			if !out.Success {
+				t.Fatalf("oracle GUI failed: %+v", out)
+			}
+		})
+	}
+}
+
+// TestDMIUsesFewerSteps: even for the oracle, the imperative interface
+// needs more LLM calls than the declarative one (Insight: global planning).
+func TestDMIUsesFewerSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	m := sharedModels(t)
+	dmiCfg := Config{Interface: GUIDMI, Profile: oracle(), TopologyMissRate: -1}
+	guiCfg := Config{Interface: GUIOnly, Profile: oracle(), TopologyMissRate: -1}
+	var dmiSteps, guiSteps int
+	for _, task := range osworld.All() {
+		dmi := Run(m, task, dmiCfg, llm.Rand("steps-dmi", task.ID, 0))
+		gui := Run(m, task, guiCfg, llm.Rand("steps-gui", task.ID, 0))
+		dmiSteps += dmi.Steps
+		guiSteps += gui.Steps
+	}
+	if dmiSteps >= guiSteps {
+		t.Fatalf("DMI %d steps vs GUI %d steps: declarative should cut calls", dmiSteps, guiSteps)
+	}
+	t.Logf("oracle totals: DMI %d calls, GUI %d calls over %d tasks",
+		dmiSteps, guiSteps, len(osworld.All()))
+}
+
+// TestRunDeterminism: same seed → identical outcome.
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	m := sharedModels(t)
+	cfg := Config{Interface: GUIDMI, Profile: llm.GPT5Medium}
+	task, _ := osworld.ByID("ppt-background")
+	a := Run(m, task, cfg, llm.Rand("det", task.ID, 1))
+	b := Run(m, task, cfg, llm.Rand("det", task.ID, 1))
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

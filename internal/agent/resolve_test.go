@@ -1,0 +1,206 @@
+package agent
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/osworld"
+)
+
+func wordModel(t *testing.T) *describe.Model {
+	t.Helper()
+	return sharedModels(t).ByApp["Word"]
+}
+
+func TestResolveByPrimaryAndContainer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m := wordModel(t)
+	r, err := resolveTarget(m, osworld.Target{Primary: "Landscape", GIDContains: "mnuOrientation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.node.Name != "Landscape" || r.nonLeaf {
+		t.Fatalf("resolved %+v", r.node)
+	}
+	if len(r.refs) != 0 {
+		t.Error("main-tree target should need no entry refs")
+	}
+}
+
+func TestResolveViaPicksSemanticPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m := wordModel(t)
+	font, err := resolveTarget(m, osworld.Target{
+		Primary: "Blue", GIDContains: "clrPickerStd", Via: "btnFontColor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	und, err := resolveTarget(m, osworld.Target{
+		Primary: "Blue", GIDContains: "clrPickerStd", Via: "btnUnderlineColor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if font.node != und.node {
+		t.Fatal("both paths should resolve to the same shared-subtree cell")
+	}
+	if len(font.refs) == 0 || len(und.refs) == 0 {
+		t.Fatal("shared-subtree targets need entry refs")
+	}
+	if font.refs[0] == und.refs[0] {
+		t.Fatal("different Via openers must yield different entry refs")
+	}
+	// The refs route through the named openers.
+	fr := m.Node(font.refs[0])
+	if !pathContainsPrimary(fr.PathFromRoot(), "btnFontColor") {
+		t.Error("font ref does not pass through Font Color")
+	}
+}
+
+func TestResolveUnknownTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m := wordModel(t)
+	if _, err := resolveTarget(m, osworld.Target{Primary: "No Such Control Anywhere"}); err == nil {
+		t.Fatal("unknown target resolved")
+	}
+}
+
+func TestResolveNonLeafFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	// "Pie" in Excel's recommended-charts gallery reveals the contextual
+	// Chart Design tab during ripping, so it is a non-leaf functional
+	// control: resolution must flag the imperative slow path.
+	m := sharedModels(t).ByApp["Excel"]
+	r, err := resolveTarget(m, osworld.Target{Primary: "Pie", GIDContains: "galQuickCharts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.nonLeaf {
+		t.Fatal("context-revealing control should be flagged non-leaf")
+	}
+}
+
+func TestSiblingDistractor(t *testing.T) {
+	parent := &forest.Node{Name: "menu"}
+	mk := func(n string) *forest.Node {
+		c := &forest.Node{Name: n, Parent: parent}
+		parent.Children = append(parent.Children, c)
+		return c
+	}
+	a := mk("A")
+	mk("B")
+	mk("C")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		d := siblingDistractor(a, rng.Intn)
+		if d == nil || d == a {
+			t.Fatal("distractor must be a different sibling")
+		}
+	}
+	lonely := &forest.Node{Name: "only"}
+	root := &forest.Node{Children: []*forest.Node{lonely}}
+	lonely.Parent = root
+	if siblingDistractor(lonely, rng.Intn) != nil {
+		t.Error("no sibling available: distractor must be nil")
+	}
+	if siblingDistractor(root, rng.Intn) != nil {
+		t.Error("root has no parent: distractor must be nil")
+	}
+}
+
+func TestInCoreTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m := wordModel(t)
+	// A ribbon-level control is in the core; a font-list item (large
+	// enumeration) is not.
+	landscape, _ := resolveTarget(m, osworld.Target{Primary: "Landscape", GIDContains: "mnuOrientation"})
+	if !inCoreTopology(m, landscape.node) {
+		t.Error("ribbon control should be inside the core topology")
+	}
+	var fontItem *forest.Node
+	m.Forest.Main.Walk(func(n *forest.Node) bool {
+		if fontItem == nil && n.IsLeaf() && n.LargeEnum &&
+			strings.Contains(n.GID, "wFontName") {
+			fontItem = n
+		}
+		return true
+	})
+	if fontItem == nil {
+		t.Fatal("no font list item found")
+	}
+	if inCoreTopology(m, fontItem) {
+		t.Error("large-enumeration item should be outside the core topology")
+	}
+}
+
+func TestGidPrimary(t *testing.T) {
+	cases := map[string]string{
+		"btnBold|Button|a/b": "btnBold",
+		"plain":              "plain",
+		"|Button|x":          "",
+	}
+	for in, want := range cases {
+		if got := gidPrimary(in); got != want {
+			t.Errorf("gidPrimary(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestFailureChannelsReachVerifier: forcing one channel to certainty makes
+// the matching failure appear — the taxonomy is wired end to end.
+func TestFailureChannelsReachVerifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m := sharedModels(t)
+	task, _ := osworld.ByID("excel-freeze") // ControlSem trap, weight 0.5
+	p := oracle()
+	p.ControlSem = 1 // the trap fires with its weight (0.5) per run
+	cfg := Config{Interface: GUIDMI, Profile: p, TopologyMissRate: -1}
+	sawTrap := false
+	for seed := int64(0); seed < 20; seed++ {
+		out := Run(m, task, cfg, rand.New(rand.NewSource(seed)))
+		if !out.Success && out.Failure == osworld.FailControlSem {
+			sawTrap = true
+			break
+		}
+	}
+	if !sawTrap {
+		t.Fatal("control-semantics trap never surfaced as a classified failure")
+	}
+}
+
+// TestStepCapEnforced: an agent that can never finish hits the 30-step cap.
+func TestStepCapEnforced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m := sharedModels(t)
+	task, _ := osworld.ByID("word-bold")
+	p := oracle()
+	p.Composite = 1 // every composite round misses
+	p.Detect = 1    // always detected → endless retry rounds
+	cfg := Config{Interface: GUIOnly, Profile: p, TopologyMissRate: -1, StepCap: 4}
+	out := Run(m, task, cfg, rand.New(rand.NewSource(1)))
+	if out.Success {
+		t.Fatal("capped run must not count as success")
+	}
+	if out.Steps > 4 {
+		t.Fatalf("steps %d exceeded the cap", out.Steps)
+	}
+	if out.Failure != osworld.FailStepCap && out.Failure != osworld.FailComposite {
+		t.Fatalf("failure = %q, want step-cap or composite", out.Failure)
+	}
+}

@@ -1,0 +1,92 @@
+package appkit
+
+import (
+	"testing"
+
+	"repro/internal/uia"
+)
+
+func TestDetailTogglePair(t *testing.T) {
+	a := New("Demo")
+	dlg := a.NewDialog("dlgX", "Settings")
+	p := dlg.Panel()
+	pane := p.Pane("pnlDetails", "Details")
+	pane.CheckBox("chkOpt", "Option", func(*App) bool { return false }, func(*App, bool) {})
+	more, less := AddDetailToggle(p, "btnX", "More", "Less", pane.El)
+
+	a.Body().DialogButton("btnOpen", "Open", dlg, nil)
+	a.Desk.Click(a.Win.FindByAutomationID("btnOpen"))
+
+	if pane.El.OnScreen() || less.OnScreen() || !more.OnScreen() {
+		t.Fatal("dialog should open collapsed with More visible")
+	}
+	a.Desk.Click(more)
+	if !pane.El.OnScreen() || !less.OnScreen() || more.OnScreen() {
+		t.Fatal("More should reveal the pane and the Less button")
+	}
+	a.Desk.Click(less)
+	if pane.El.OnScreen() || less.OnScreen() || !more.OnScreen() {
+		t.Fatal("Less should re-reveal More (the cycle edge)")
+	}
+
+	// Dialog-internal state must reset with the application soft reset so
+	// the ripper's replay assumptions hold.
+	a.Desk.Click(more)
+	a.SoftReset()
+	if pane.El.Visible() || less.Visible() || !more.Visible() {
+		t.Fatal("SoftReset did not restore the collapsed default")
+	}
+}
+
+func TestColorPickerStructure(t *testing.T) {
+	a := New("Demo")
+	picker := a.ColorPicker("clr", "Colors", func(*App, string) {})
+	// Theme grid: 10 columns × 6 variants; standard row: 10; plus
+	// Automatic and No Color.
+	theme := picker.Win.FindByAutomationID("clrTheme")
+	if got := len(theme.Children()); got != 60 {
+		t.Errorf("theme grid has %d cells, want 60", got)
+	}
+	std := picker.Win.FindByAutomationID("clrStd")
+	if got := len(std.Children()); got != 10 {
+		t.Errorf("standard row has %d cells, want 10", got)
+	}
+	if picker.Win.FindByName("Automatic") == nil || picker.Win.FindByName("No Color") == nil {
+		t.Error("Automatic / No Color entries missing")
+	}
+	if picker.Win.FindByAutomationID("clrMore") == nil {
+		t.Error("More Colors… entry missing")
+	}
+}
+
+func TestRibbonCollapsePairTypes(t *testing.T) {
+	a := New("Demo")
+	a.Tab("tabHome", "Home")
+	collapse, pin := a.AddRibbonCollapse()
+	if collapse.Type() != uia.ButtonControl || pin.Type() != uia.ButtonControl {
+		t.Error("collapse pair should be buttons")
+	}
+	if pin.Visible() {
+		t.Error("pin should start hidden")
+	}
+}
+
+func TestWizardFinishFromAnyStep(t *testing.T) {
+	a := New("Demo")
+	done := 0
+	wiz := a.Wizard("wz", "W", []WizardStep{
+		{Name: "one"}, {Name: "two"},
+	}, func(*App) { done++ })
+	a.Body().DialogButton("btnW", "Open", wiz, nil)
+	a.Desk.Click(a.Win.FindByAutomationID("btnW"))
+	// Finish directly from step 1.
+	a.Desk.Click(wiz.Win.FindByAutomationID("wzFinish"))
+	if done != 1 || wiz.IsOpen() {
+		t.Fatal("finish from step 1 failed")
+	}
+	// Reopen: wizard must reset to step 1 (OnOpen hook).
+	a.Desk.Click(a.Win.FindByAutomationID("btnW"))
+	if !wiz.Win.FindByAutomationID("wzStep1").OnScreen() {
+		t.Fatal("wizard did not reset to step 1 on reopen")
+	}
+}

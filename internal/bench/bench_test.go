@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/agent"
+)
+
+var (
+	repOnce   sync.Once
+	repModels *agent.Models
+	repReport *Report
+)
+
+// sharedReport runs the full matrix once (≈ seconds) and shares it across
+// the shape tests.
+func sharedReport(t *testing.T) (*agent.Models, *Report) {
+	t.Helper()
+	repOnce.Do(func() {
+		m, err := agent.BuildModels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		repModels = m
+		repReport = Run(m, 3)
+	})
+	if repReport == nil {
+		t.Fatal("report unavailable")
+	}
+	return repModels, repReport
+}
+
+// TestTable3Shape asserts the paper's qualitative results (§5.3): DMI beats
+// the GUI baseline on success rate and steps in every model setting, and
+// reasoning/model strength orders success.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	_, rep := sharedReport(t)
+	type pair struct{ model, reasoning string }
+	for _, p := range []pair{{"GPT-5", "Medium"}, {"GPT-5", "Minimal"}, {"GPT-5-mini", "Medium"}} {
+		gui, ok1 := rep.RowFor(agent.GUIOnly, p.model, p.reasoning)
+		dmi, ok2 := rep.RowFor(agent.GUIDMI, p.model, p.reasoning)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing rows for %+v", p)
+		}
+		if dmi.SR <= gui.SR {
+			t.Errorf("%v: DMI SR %.3f ≤ GUI SR %.3f", p, dmi.SR, gui.SR)
+		}
+		if dmi.Steps >= gui.Steps {
+			t.Errorf("%v: DMI steps %.2f ≥ GUI steps %.2f", p, dmi.Steps, gui.Steps)
+		}
+		if dmi.TimeS >= gui.TimeS {
+			t.Errorf("%v: DMI time %.0f ≥ GUI time %.0f", p, dmi.TimeS, gui.TimeS)
+		}
+	}
+
+	// Relative improvement in the core setting: paper reports 1.67×; the
+	// reproduction should land in the same regime (>1.3×).
+	gui, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Medium")
+	dmi, _ := rep.RowFor(agent.GUIDMI, "GPT-5", "Medium")
+	if ratio := dmi.SR / gui.SR; ratio < 1.3 {
+		t.Errorf("core-setting SR improvement = %.2f×, want ≥ 1.3× (paper 1.67×)", ratio)
+	}
+	if cut := 1 - dmi.Steps/gui.Steps; cut < 0.2 {
+		t.Errorf("step reduction = %.0f%%, want ≥ 20%% (paper 43.5%%)", 100*cut)
+	}
+
+	// Reasoning effort orders success for the same interface.
+	med, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Medium")
+	min, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Minimal")
+	if med.SR <= min.SR {
+		t.Errorf("medium reasoning (%.3f) should beat minimal (%.3f)", med.SR, min.SR)
+	}
+}
+
+// TestAblationShape asserts §5.5: the navigation forest alone does not
+// significantly help the strong model but helps the weak one; the full DMI
+// interface dominates both.
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	_, rep := sharedReport(t)
+
+	guiM, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Medium")
+	ablM, _ := rep.RowFor(agent.GUIForest, "GPT-5", "Medium")
+	dmiM, _ := rep.RowFor(agent.GUIDMI, "GPT-5", "Medium")
+	if diff := ablM.SR - guiM.SR; diff > 0.12 || diff < -0.12 {
+		t.Errorf("forest knowledge changed strong-model SR by %.3f; paper: no significant change", diff)
+	}
+	if dmiM.SR <= ablM.SR {
+		t.Error("full DMI must beat the knowledge-only ablation (interface, not knowledge, drives gains)")
+	}
+
+	guiS, _ := rep.RowFor(agent.GUIOnly, "GPT-5-mini", "Medium")
+	ablS, _ := rep.RowFor(agent.GUIForest, "GPT-5-mini", "Medium")
+	dmiS, _ := rep.RowFor(agent.GUIDMI, "GPT-5-mini", "Medium")
+	if ablS.SR < guiS.SR {
+		t.Errorf("forest knowledge should not hurt the weak model (%.3f vs %.3f)", ablS.SR, guiS.SR)
+	}
+	if dmiS.SR <= ablS.SR {
+		t.Error("full DMI must beat the ablation for the weak model too")
+	}
+}
+
+// TestFig6Shape asserts the failure redistribution: with DMI most failures
+// are policy-level; with GUI-only the mechanism share is much larger.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	_, rep := sharedReport(t)
+	dmiRow, _ := rep.RowFor(agent.GUIDMI, "GPT-5", "Medium")
+	guiRow, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Medium")
+	dmi := Failures(dmiRow)
+	gui := Failures(guiRow)
+	if dmi.Total == 0 || gui.Total == 0 {
+		t.Fatal("no failures recorded")
+	}
+	dmiPolicy := float64(dmi.Policy) / float64(dmi.Total)
+	guiPolicy := float64(gui.Policy) / float64(gui.Total)
+	if dmiPolicy < 0.65 {
+		t.Errorf("DMI policy share = %.2f, want ≥ 0.65 (paper 0.81)", dmiPolicy)
+	}
+	if guiMech := 1 - guiPolicy; guiMech < 0.40 {
+		t.Errorf("GUI mechanism share = %.2f, want ≥ 0.40 (paper 0.53)", guiMech)
+	}
+	if dmiPolicy <= guiPolicy {
+		t.Error("DMI must shift failures toward policy level")
+	}
+}
+
+// TestOneShotShape asserts §5.3: the majority of successful DMI trials
+// complete the core intent in a single LLM call.
+func TestOneShotShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	_, rep := sharedReport(t)
+	dmi, _ := rep.RowFor(agent.GUIDMI, "GPT-5", "Medium")
+	if dmi.OneShot < 0.5 {
+		t.Errorf("one-shot fraction = %.2f, want ≥ 0.5 (paper > 0.61)", dmi.OneShot)
+	}
+	gui, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Medium")
+	if gui.OneShot >= dmi.OneShot {
+		t.Error("GUI baseline should not out-one-shot DMI")
+	}
+}
+
+// TestNormalizedStepsShape asserts Figure 5b: on the intersection of tasks
+// all methods solve, DMI needs the fewest core steps.
+func TestNormalizedStepsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	_, rep := sharedReport(t)
+	var rows []Row
+	for _, iface := range []agent.Interface{agent.GUIOnly, agent.GUIForest, agent.GUIDMI} {
+		row, ok := rep.RowFor(iface, "GPT-5", "Medium")
+		if !ok {
+			t.Fatal("row missing")
+		}
+		rows = append(rows, row)
+	}
+	norm := rep.NormalizedCoreSteps(rows)
+	if norm[2] <= 0 {
+		t.Fatal("empty intersection")
+	}
+	if norm[2] >= norm[0] || norm[2] >= norm[1] {
+		t.Errorf("normalized core steps: GUI %.2f, ablation %.2f, DMI %.2f — DMI must be lowest",
+			norm[0], norm[1], norm[2])
+	}
+}
+
+// TestTokenClaim asserts §5.4: despite per-call topology overhead, total
+// tokens per task with DMI stay at or below the baseline's.
+func TestTokenClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	models, rep := sharedReport(t)
+	gui, _ := rep.RowFor(agent.GUIOnly, "GPT-5", "Medium")
+	dmi, _ := rep.RowFor(agent.GUIDMI, "GPT-5", "Medium")
+	if dmi.Tokens > gui.Tokens*1.05 {
+		t.Errorf("DMI tokens/task %.0f exceed baseline %.0f", dmi.Tokens, gui.Tokens)
+	}
+	// Per-control cost should sit in the ~15-token regime the paper
+	// measures.
+	for app, tok := range models.CoreTokens {
+		if tok < 5000 || tok > 60000 {
+			t.Errorf("%s core topology tokens = %d, implausible", app, tok)
+		}
+	}
+}
+
+// TestReportRendering smoke-tests every writer.
+func TestReportRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	models, rep := sharedReport(t)
+	var buf bytes.Buffer
+	rep.WriteTable3(&buf)
+	rep.WriteFig5(&buf)
+	rep.WriteFig6(&buf)
+	rep.WriteOneShot(&buf)
+	rep.WriteTokens(&buf, models)
+	out := buf.String()
+	for _, want := range []string{"Table 3", "Figure 5a", "Figure 5b", "Figure 6",
+		"One-shot", "Token overhead", "GUI+DMI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestDeterministicReport: the whole evaluation is reproducible.
+func TestDeterministicReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	models, rep := sharedReport(t)
+	again := Run(models, 3)
+	for i := range rep.Rows {
+		if rep.Rows[i].SR != again.Rows[i].SR || rep.Rows[i].Steps != again.Rows[i].Steps {
+			t.Fatalf("row %d not reproducible", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Command is one structured visit command (paper §3.4). Exactly one of the
+// four forms is used per command:
+//
+//	{"id": 42}                               control access
+//	{"id": 42, "entry_ref_id": [7]}          control access in a shared subtree
+//	{"id": 42, "text": "hello"}              access-and-input-text
+//	{"shortcut_key": "ENTER"}                auxiliary shortcut
+//	{"further_query": [42, ...]}             topology expansion (exclusive)
+type Command struct {
+	ID          *int   `json:"id,omitempty"`
+	EntryRefIDs []int  `json:"entry_ref_id,omitempty"`
+	Text        string `json:"text,omitempty"`
+	ShortcutKey string `json:"shortcut_key,omitempty"`
+	// FurtherQuery lists node ids to expand; the single value -1 requests
+	// the entire forest. A further_query command is exclusive: it cannot
+	// be mixed with other commands in the same call.
+	FurtherQuery []int `json:"further_query,omitempty"`
+}
+
+// Access builds a control-access command.
+func Access(id int) Command { return Command{ID: &id} }
+
+// AccessRef builds a control-access command for a shared-subtree target.
+func AccessRef(id int, entryRefs ...int) Command {
+	return Command{ID: &id, EntryRefIDs: entryRefs}
+}
+
+// Input builds an access-and-input-text command.
+func Input(id int, text string) Command { return Command{ID: &id, Text: text} }
+
+// Shortcut builds a shortcut-key command.
+func Shortcut(key string) Command { return Command{ShortcutKey: key} }
+
+// FurtherQuery builds a topology-expansion command; -1 requests the full
+// forest.
+func FurtherQuery(ids ...int) Command { return Command{FurtherQuery: ids} }
+
+// Kind classifies a command.
+type Kind int
+
+// Command kinds.
+const (
+	KindAccess Kind = iota
+	KindInput
+	KindShortcut
+	KindFurtherQuery
+	KindInvalid
+)
+
+// Kind returns the command's classification, validating mutual exclusion.
+func (c Command) Kind() Kind {
+	switch {
+	case len(c.FurtherQuery) > 0:
+		if c.ID != nil || c.Text != "" || c.ShortcutKey != "" {
+			return KindInvalid
+		}
+		return KindFurtherQuery
+	case c.ShortcutKey != "":
+		if c.ID != nil || c.Text != "" {
+			return KindInvalid
+		}
+		return KindShortcut
+	case c.ID != nil && c.Text != "":
+		return KindInput
+	case c.ID != nil:
+		return KindAccess
+	default:
+		return KindInvalid
+	}
+}
+
+// String renders the command in its JSON form for logs and prompts.
+func (c Command) String() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Sprintf("Command<%v>", err)
+	}
+	return string(b)
+}
+
+// ParseCommands decodes a JSON array of visit commands — the raw LLM
+// output.
+func ParseCommands(raw []byte) ([]Command, error) {
+	var cmds []Command
+	if err := json.Unmarshal(raw, &cmds); err != nil {
+		return nil, fmt.Errorf("core: malformed visit payload: %w", err)
+	}
+	return cmds, nil
+}

@@ -1,0 +1,19 @@
+// Package core implements the Declarative Model Interface (DMI) runtime —
+// the paper's primary contribution. It exposes the three declarative
+// primitives to the LLM:
+//
+//   - access declaration: the visit interface (§3.4) takes structured
+//     commands that name target controls by topology id; the executor
+//     deterministically navigates from any current UI state to each target
+//     and performs the primitive interaction.
+//   - state declaration: interaction interfaces (§3.5) such as
+//     set_scrollbar_pos, select_lines, select_paragraphs, select_controls,
+//     set_toggle_state, set_expanded drive a control to a declared end
+//     state, hiding compound interactions.
+//   - observation declaration: get_texts (§3.5) retrieves structured
+//     content, passively before every LLM call and actively on demand.
+//
+// Robustness (§3.4): non-leaf filtering of imperfect LLM output, fuzzy
+// control matching, failure retries for slowly-loading controls, a window
+// closing policy of OK > Close > Cancel, and structured error feedback.
+package core

@@ -1,0 +1,645 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appkit"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/uia"
+	"repro/internal/ung"
+)
+
+// testApp is a compact application with observable state for exercising
+// every executor mechanism.
+type testApp struct {
+	*appkit.App
+	bold    bool
+	picks   []string // "<binding>=<color>"
+	rows    int
+	saved   string
+	applied bool // dialog OK pressed
+	scroll  float64
+}
+
+func newTestApp() *testApp {
+	ta := &testApp{}
+	a := appkit.New("TestApp")
+	ta.App = a
+
+	picker := a.ColorPicker("clr", "Colors", func(app *appkit.App, color string) {
+		ta.picks = append(ta.picks, app.Binding().(string)+"="+color)
+	})
+
+	home := a.Tab("tabHome", "Home")
+	font := home.Group("grpFont", "Font")
+	font.ToggleButton("btnBold", "Bold",
+		func(*appkit.App) bool { return ta.bold },
+		func(_ *appkit.App, on bool) { ta.bold = on })
+	font.MenuButton("btnFontColor", "Font Color", picker, func(*appkit.App) any { return "font" })
+	font.MenuButton("btnHighlight", "Highlight", picker, func(*appkit.App) any { return "hl" })
+	disabled := font.Button("btnLocked", "Locked", nil)
+	disabled.SetEnabled(false)
+
+	ins := a.Tab("tabInsert", "Insert")
+	dlg := a.NewDialog("dlgTable", "Insert Table")
+	var rows float64 = 2
+	dlg.Panel().Spinner("spnRows", "Rows", 1, 10, 2, func(_ *appkit.App, v float64) { rows = v })
+	dlg.AddOKCancel(func(*appkit.App) { ta.rows = int(rows); ta.applied = true })
+	ins.Group("grpTables", "Tables").DialogButton("btnTable", "Table", dlg, nil)
+
+	ed := home.Group("grpName", "Naming").CommitEdit("edName", "Name Box", "",
+		func(_ *appkit.App, v string) { ta.saved = v })
+	_ = ed
+
+	// A tiny data grid for passive observation.
+	grid := uia.NewElement("grdMini", "MiniGrid", uia.DataGridControl)
+	a.Window().Custom(grid)
+	for i, v := range []string{"alpha", "", "a very long cell value that overflows", ""} {
+		it := uia.NewElement("", "R"+string(rune('1'+i)), uia.DataItemControl)
+		it.SetPattern(uia.ValuePattern, uia.NewValue(v, nil))
+		grid.AddChild(it)
+	}
+
+	// Scrollable document.
+	body := a.Window().Pane("pnlBody", "Body")
+	body.VScrollBar("sbMain", "Vertical Scroll Bar", func(_ *appkit.App, v float64) { ta.scroll = v })
+	doc := body.Document("docMain", "Document", uia.NewText("l1\n\nl2 first\nl2 second\n\nl3"))
+	_ = doc
+
+	lst := body.List("lstItems", "Items")
+	sel := uia.NewSelectionList(true, nil)
+	lst.El.SetPattern(uia.SelectionPattern, sel)
+	for _, n := range []string{"Item One", "Item Two", "Item Three"} {
+		it := uia.NewElement("", n, uia.ListItemControl)
+		it.SetPattern(uia.SelectionItemPattern, sel.Item())
+		lst.El.AddChild(it)
+	}
+
+	a.Layout()
+	return ta
+}
+
+// sessionFor builds the offline model by ripping a THROWAWAY instance of
+// the application (ripping clicks everything, mutating state), then binds a
+// session to the given fresh instance — exactly the paper's deployment: the
+// model is version-specific but reusable across machines (§5.2).
+func sessionFor(t *testing.T, fresh *appkit.App, build func() *appkit.App, opt Options) (*Session, *describe.Model) {
+	t.Helper()
+	g, _, err := ung.Rip(build(), ung.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := describe.NewModel(f)
+	return NewSession(fresh, m, opt), m
+}
+
+func buildTestApp() *appkit.App { return newTestApp().App }
+
+// modelOf rips a throwaway twin of the test app and binds the session to
+// the live one.
+func modelOf(t *testing.T, a *appkit.App, opt Options) (*Session, *describe.Model) {
+	t.Helper()
+	return sessionFor(t, a, buildTestApp, opt)
+}
+
+func leafID(t *testing.T, m *describe.Model, name string) int {
+	t.Helper()
+	n := m.FindLeafByName(name)
+	if n == nil {
+		t.Fatalf("leaf %q not in model", name)
+	}
+	return m.ID(n)
+}
+
+func refIDTo(t *testing.T, m *describe.Model, subtreeOfLeaf *forest.Node, openerName string) int {
+	t.Helper()
+	tree := m.TreeOf(subtreeOfLeaf)
+	if tree == "" {
+		t.Fatalf("leaf %q not in a shared subtree", subtreeOfLeaf.Name)
+	}
+	for _, r := range m.RefsTo(tree) {
+		// the ref whose path passes through the named opener
+		for _, anc := range r.PathFromRoot() {
+			if anc.Name == openerName {
+				return m.ID(r)
+			}
+		}
+	}
+	t.Fatalf("no ref to %q via %q", tree, openerName)
+	return -1
+}
+
+func TestVisitSimpleAccess(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	res := s.Visit([]Command{Access(leafID(t, m, "Bold"))})
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if !ta.bold {
+		t.Fatal("Bold not toggled")
+	}
+	if res.Executed[0].Target != "Bold" {
+		t.Errorf("target = %q", res.Executed[0].Target)
+	}
+}
+
+func TestVisitNavigatesAcrossTabs(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	// Target lives in the Insert Table dialog: executor must click the
+	// Insert tab, the Table button, then OK — from the Home base state.
+	okID := -1
+	var find func(n *forest.Node)
+	find = func(n *forest.Node) {
+		if strings.HasPrefix(n.GID, "dlgTableOK|") {
+			okID = m.ID(n)
+		}
+		for _, c := range n.Children {
+			find(c)
+		}
+	}
+	find(m.Forest.Main)
+	for _, sh := range m.Forest.Shared {
+		find(sh)
+	}
+	if okID < 0 {
+		t.Fatal("dialog OK not modeled")
+	}
+	res := s.Visit([]Command{Access(okID)})
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if !ta.applied {
+		t.Fatal("dialog OK handler did not run")
+	}
+}
+
+func TestSharedSubtreeNeedsEntryRef(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	blue := m.FindLeafByName("Blue")
+	if blue == nil || m.TreeOf(blue) == "" {
+		t.Fatal("Blue should live in the externalized picker subtree")
+	}
+	res := s.Visit([]Command{Access(m.ID(blue))})
+	if res.OK() || res.Err.Code != ErrNeedsEntryRef {
+		t.Fatalf("expected needs-entry-ref, got %+v", res.Err)
+	}
+	if !strings.Contains(res.Err.Hint, "entry_ref_id") {
+		t.Errorf("hint not actionable: %q", res.Err.Hint)
+	}
+}
+
+func TestSharedSubtreePathSemantics(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	blue := m.FindLeafByName("Blue")
+	viaFont := refIDTo(t, m, blue, "Font Color")
+	viaHL := refIDTo(t, m, blue, "Highlight")
+
+	res := s.Visit([]Command{AccessRef(m.ID(blue), viaFont)})
+	if !res.OK() {
+		t.Fatalf("font path failed: %v", res.Err)
+	}
+	res = s.Visit([]Command{AccessRef(m.ID(blue), viaHL)})
+	if !res.OK() {
+		t.Fatalf("highlight path failed: %v", res.Err)
+	}
+	if len(ta.picks) != 2 || ta.picks[0] != "font=Blue" || ta.picks[1] != "hl=Blue" {
+		t.Fatalf("path-dependent semantics broken: %v", ta.picks)
+	}
+}
+
+func TestBadEntryRef(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	blue := m.FindLeafByName("Blue")
+	res := s.Visit([]Command{AccessRef(m.ID(blue), leafID(t, m, "Bold"))})
+	if res.OK() || res.Err.Code != ErrBadEntryRef {
+		t.Fatalf("expected bad-entry-ref, got %+v", res.Err)
+	}
+}
+
+func TestNonLeafFiltering(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	// Find the Font Color opener (navigation node) in the main tree.
+	var opener *forest.Node
+	m.Forest.Main.Walk(func(n *forest.Node) bool {
+		if strings.HasPrefix(n.GID, "btnFontColor|") {
+			opener = n
+		}
+		return true
+	})
+	if opener == nil || opener.IsLeaf() {
+		t.Fatal("opener should be a navigation node")
+	}
+	cmds := []Command{
+		Access(m.ID(opener)),         // navigation: filtered
+		Shortcut("ENTER"),            // trailing shortcut: filtered with it
+		Access(leafID(t, m, "Bold")), // functional: executed
+	}
+	res := s.Visit(cmds)
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if len(res.Filtered) != 2 || len(res.Executed) != 1 {
+		t.Fatalf("filtered=%d executed=%d", len(res.Filtered), len(res.Executed))
+	}
+	if !ta.bold {
+		t.Fatal("retained command did not run")
+	}
+
+	// Ablation: with filtering disabled the navigation command executes
+	// (opening the picker) and the shortcut fires.
+	ta2 := newTestApp()
+	s2, m2 := modelOf(t, ta2.App, Options{DisableLeafFilter: true})
+	var opener2 *forest.Node
+	m2.Forest.Main.Walk(func(n *forest.Node) bool {
+		if strings.HasPrefix(n.GID, "btnFontColor|") {
+			opener2 = n
+		}
+		return true
+	})
+	res2 := s2.Visit([]Command{Access(m2.ID(opener2))})
+	if !res2.OK() {
+		t.Fatalf("unfiltered navigation visit failed: %v", res2.Err)
+	}
+	if ta2.OpenPopups() != 1 {
+		t.Fatal("navigation click should have opened the picker")
+	}
+}
+
+func TestAccessAndInputWithShortcut(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	res := s.Visit([]Command{
+		Input(leafID(t, m, "Name Box"), "Quarterly"),
+		Shortcut("ENTER"),
+	})
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if ta.saved != "Quarterly" {
+		t.Fatalf("commit-on-enter broken: %q", ta.saved)
+	}
+}
+
+func TestFurtherQueryExclusive(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	res := s.Visit([]Command{FurtherQuery(-1), Access(leafID(t, m, "Bold"))})
+	if res.OK() || res.Err.Code != ErrMixedQuery {
+		t.Fatalf("mixed further_query accepted: %+v", res.Err)
+	}
+	res = s.Visit([]Command{FurtherQuery(-1)})
+	if !res.OK() || !strings.Contains(res.QueryText, "main-tree:") {
+		t.Fatal("full-forest query failed")
+	}
+	res = s.Visit([]Command{FurtherQuery(999999)})
+	if res.OK() || res.Err.Code != ErrUnknownID {
+		t.Fatal("bad further_query id accepted")
+	}
+}
+
+func TestWindowClosePriority(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	// Open the table dialog manually, then visit a main-window target:
+	// the executor must close the dialog (OK preferred — saving
+	// modifications) before reaching Bold.
+	ta.ActivateTabByName("Insert")
+	if err := ta.Desk.Click(ta.Win.FindByAutomationID("btnTable")); err != nil {
+		t.Fatal(err)
+	}
+	if ta.OpenPopups() != 1 {
+		t.Fatal("dialog not open")
+	}
+	res := s.Visit([]Command{Access(leafID(t, m, "Bold"))})
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if ta.OpenPopups() != 0 {
+		t.Fatal("dialog not closed by navigation")
+	}
+	if !ta.applied {
+		t.Fatal("close priority should pick OK first (saving modifications)")
+	}
+	if !ta.bold {
+		t.Fatal("target not reached after closing window")
+	}
+}
+
+func TestSlowLoadRetry(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	blue := m.FindLeafByName("Blue")
+	viaFont := refIDTo(t, m, blue, "Font Color")
+	// Make the picker contents load lazily on every open.
+	picker := ta.PopupTemplates()[0]
+	picker.OnOpen = func(*appkit.App, any) {
+		picker.Body.Walk(func(e *uia.Element) bool {
+			if e != picker.Body {
+				e.DeferVisibility(2)
+			}
+			return e == picker.Body
+		})
+	}
+	res := s.Visit([]Command{AccessRef(m.ID(blue), viaFont)})
+	if !res.OK() {
+		t.Fatalf("retry did not absorb slow load: %v", res.Err)
+	}
+	if len(ta.picks) != 1 || ta.picks[0] != "font=Blue" {
+		t.Fatalf("picks = %v", ta.picks)
+	}
+
+	// Ablation: without retries the same visit fails.
+	ta2 := newTestApp()
+	s2, m2 := modelOf(t, ta2.App, Options{DisableRetry: true})
+	blue2 := m2.FindLeafByName("Blue")
+	via2 := refIDTo(t, m2, blue2, "Font Color")
+	picker2 := ta2.PopupTemplates()[0]
+	picker2.OnOpen = func(*appkit.App, any) {
+		picker2.Body.Walk(func(e *uia.Element) bool {
+			if e != picker2.Body {
+				e.DeferVisibility(3)
+			}
+			return e == picker2.Body
+		})
+	}
+	res2 := s2.Visit([]Command{AccessRef(m2.ID(blue2), via2)})
+	if res2.OK() {
+		t.Fatal("visit should fail with retries disabled under slow load")
+	}
+}
+
+func TestFuzzyMatchAbsorbsRename(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	blue := m.FindLeafByName("Blue")
+	viaFont := refIDTo(t, m, blue, "Font Color")
+	// Rename the live control after modeling: exact ids no longer match.
+	cell := ta.PopupTemplates()[0].Win.FindByName("Blue")
+	cell.SetName("Blue.")
+	res := s.Visit([]Command{AccessRef(m.ID(blue), viaFont)})
+	if !res.OK() {
+		t.Fatalf("fuzzy match failed: %v", res.Err)
+	}
+	// The renamed control still runs its original handler: the rename only
+	// changed the accessible name.
+	if len(ta.picks) != 1 || ta.picks[0] != "font=Blue" {
+		t.Fatalf("picks = %v", ta.picks)
+	}
+
+	// Ablation: exact-only matching cannot find the renamed control.
+	ta2 := newTestApp()
+	s2, m2 := modelOf(t, ta2.App, Options{DisableFuzzy: true, Retries: 1})
+	blue2 := m2.FindLeafByName("Blue")
+	via2 := refIDTo(t, m2, blue2, "Font Color")
+	ta2.PopupTemplates()[0].Win.FindByName("Blue").SetName("Blue.")
+	res2 := s2.Visit([]Command{AccessRef(m2.ID(blue2), via2)})
+	if res2.OK() {
+		t.Fatal("exact matching should fail after rename")
+	}
+	if res2.Err.Code != ErrNotFound {
+		t.Fatalf("err = %+v", res2.Err)
+	}
+}
+
+func TestDisabledControlStructuredError(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	res := s.Visit([]Command{Access(leafID(t, m, "Locked"))})
+	if res.OK() || res.Err.Code != ErrDisabled {
+		t.Fatalf("expected disabled error, got %+v", res.Err)
+	}
+	if res.Err.State != "disabled" {
+		t.Errorf("state = %q", res.Err.State)
+	}
+}
+
+func TestExecutionStopsAtFirstError(t *testing.T) {
+	ta := newTestApp()
+	s, m := modelOf(t, ta.App, Options{})
+	res := s.Visit([]Command{
+		Access(leafID(t, m, "Locked")), // fails
+		Access(leafID(t, m, "Bold")),   // must not run
+	})
+	if res.OK() {
+		t.Fatal("expected failure")
+	}
+	if ta.bold {
+		t.Fatal("command after failure was executed")
+	}
+	if len(res.Executed) != 1 {
+		t.Fatalf("executed = %d", len(res.Executed))
+	}
+}
+
+func TestUnknownIDError(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	res := s.Visit([]Command{Access(424242)})
+	if res.OK() || res.Err.Code != ErrUnknownID {
+		t.Fatalf("unknown id accepted: %+v", res.Err)
+	}
+}
+
+func TestParseCommands(t *testing.T) {
+	raw := []byte(`[{"id": 4}, {"id": 7, "entry_ref_id": [2]}, {"id": 9, "text": "x"},
+		{"shortcut_key": "ENTER"}, {"further_query": [-1]}]`)
+	cmds, err := ParseCommands(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KindAccess, KindAccess, KindInput, KindShortcut, KindFurtherQuery}
+	for i, k := range kinds {
+		if cmds[i].Kind() != k {
+			t.Errorf("cmd %d kind = %v, want %v", i, cmds[i].Kind(), k)
+		}
+	}
+	if _, err := ParseCommands([]byte("{not json")); err == nil {
+		t.Error("malformed payload accepted")
+	}
+	bad := Command{ID: new(int), ShortcutKey: "ENTER"}
+	if bad.Kind() != KindInvalid {
+		t.Error("conflicting command fields not rejected")
+	}
+}
+
+// State and observation interfaces ------------------------------------------
+
+func TestSetScrollbarPos(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	lm := s.CaptureLabels()
+	label := lm.Find("Vertical Scroll Bar", uia.ScrollBarControl)
+	if label == "" {
+		t.Fatal("scrollbar not labeled")
+	}
+	st, serr := s.SetScrollbarPos(lm, label, uia.NoScroll, 80)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if st.V != 80 || ta.scroll != 80 {
+		t.Fatalf("scroll = %v / %v", st.V, ta.scroll)
+	}
+	// Declarative: target state reached from any prior state.
+	if _, serr = s.SetScrollbarPos(lm, label, uia.NoScroll, 10); serr != nil {
+		t.Fatal(serr)
+	}
+	if ta.scroll != 10 {
+		t.Fatal("second declaration not applied")
+	}
+	// Pattern validation.
+	boldLabel := lm.Find("Bold", uia.ButtonControl)
+	if _, serr = s.SetScrollbarPos(lm, boldLabel, 0, 0); serr == nil || serr.Code != ErrNoPattern {
+		t.Fatalf("expected pattern error, got %+v", serr)
+	}
+}
+
+func TestSelectLinesAndParagraphs(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	lm := s.CaptureLabels()
+	doc := lm.Find("Document", uia.DocumentControl)
+	if serr := s.SelectLines(lm, doc, 3, 4); serr != nil {
+		t.Fatal(serr)
+	}
+	el := lm.Element(doc)
+	tx := el.Pattern(uia.TextPattern).(*uia.SimpleText)
+	if got := tx.SelectedText(); got != "l2 first\nl2 second" {
+		t.Fatalf("selected %q", got)
+	}
+	if serr := s.SelectParagraphs(lm, doc, 3, 3); serr != nil {
+		t.Fatal(serr)
+	}
+	if got := tx.SelectedText(); got != "l3" {
+		t.Fatalf("selected %q", got)
+	}
+	serr := s.SelectLines(lm, doc, 90, 95)
+	if serr == nil || serr.Code != ErrBadRange {
+		t.Fatalf("bad range accepted: %+v", serr)
+	}
+	if !strings.Contains(serr.Hint, "lines") {
+		t.Errorf("hint lacks structured status: %q", serr.Hint)
+	}
+}
+
+func TestSelectControlsConservative(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	lm := s.CaptureLabels()
+	one := lm.Find("Item One", uia.ListItemControl)
+	three := lm.Find("Item Three", uia.ListItemControl)
+	bold := lm.Find("Bold", uia.ButtonControl)
+
+	if serr := s.SelectControls(lm, []string{one, three}); serr != nil {
+		t.Fatal(serr)
+	}
+	lst := ta.Win.FindByAutomationID("lstItems")
+	sel := lst.Pattern(uia.SelectionPattern).(uia.SelectionContainer)
+	if got := sel.SelectedItems(lst); len(got) != 2 {
+		t.Fatalf("selected %d items", len(got))
+	}
+
+	// One invalid target: nothing may execute (conservative).
+	serr := s.SelectControls(lm, []string{one, bold})
+	if serr == nil || serr.Code != ErrNoPattern {
+		t.Fatalf("expected pattern error, got %+v", serr)
+	}
+	if got := sel.SelectedItems(lst); len(got) != 2 {
+		t.Fatal("failed select_controls partially executed")
+	}
+	if serr := s.SelectControls(lm, nil); serr == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestToggleAndExpandedDeclarations(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	lm := s.CaptureLabels()
+	bold := lm.Find("Bold", uia.ButtonControl)
+	if serr := s.SetToggleState(lm, bold, true); serr != nil {
+		t.Fatal(serr)
+	}
+	if !ta.bold {
+		t.Fatal("toggle on failed")
+	}
+	// Idempotent: declaring "on" again must not flip it off.
+	if serr := s.SetToggleState(lm, bold, true); serr != nil {
+		t.Fatal(serr)
+	}
+	if !ta.bold {
+		t.Fatal("idempotent set broke")
+	}
+	if serr := s.SetToggleState(lm, bold, false); serr != nil {
+		t.Fatal(serr)
+	}
+	if ta.bold {
+		t.Fatal("toggle off failed")
+	}
+}
+
+func TestGetTextsActiveAndPassive(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	lm := s.CaptureLabels()
+
+	long := lm.Find("R3", uia.DataItemControl)
+	texts, serr := s.GetTexts(lm, []string{long})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if texts[long] != "a very long cell value that overflows" {
+		t.Fatalf("active get_texts truncated: %q", texts[long])
+	}
+
+	passive := s.PassiveTexts(lm, 10)
+	if !strings.Contains(passive, "R1=alpha") {
+		t.Errorf("passive texts missing value: %q", passive)
+	}
+	if strings.Contains(passive, "overflows") {
+		t.Error("passive texts not truncated")
+	}
+	if !strings.Contains(passive, "2 empty data items omitted") {
+		t.Errorf("empty items not coalesced: %q", passive)
+	}
+
+	if _, serr = s.GetTexts(lm, []string{"ZZZ"}); serr == nil || serr.Code != ErrUnknownLabel {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestLabelMap(t *testing.T) {
+	ta := newTestApp()
+	s, _ := modelOf(t, ta.App, Options{})
+	lm := s.CaptureLabels()
+	if lm.Len() == 0 {
+		t.Fatal("no labels")
+	}
+	if lm.Element("a") == nil {
+		t.Error("labels should be case-insensitive")
+	}
+	rendered := lm.Render(5)
+	if !strings.Contains(rendered, "more controls") {
+		t.Error("render limit not applied")
+	}
+	if got := alphaLabel(26); got != "AA" {
+		t.Errorf("alphaLabel(26) = %q", got)
+	}
+	if got := alphaLabel(27); got != "AB" {
+		t.Errorf("alphaLabel(27) = %q", got)
+	}
+	if !strings.Contains(lm.Render(0), "[disabled]") {
+		t.Error("disabled state not rendered")
+	}
+}

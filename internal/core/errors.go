@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// ErrorCode classifies structured execution errors fed back to the LLM for
+// replanning (paper §3.4, "structured error feedback").
+type ErrorCode string
+
+// Error codes.
+const (
+	ErrInvalidCommand ErrorCode = "invalid-command"
+	ErrUnknownID      ErrorCode = "unknown-id"
+	ErrNeedsEntryRef  ErrorCode = "needs-entry-ref"
+	ErrBadEntryRef    ErrorCode = "bad-entry-ref"
+	ErrNotFound       ErrorCode = "control-not-found"
+	ErrDisabled       ErrorCode = "control-disabled"
+	ErrNoPattern      ErrorCode = "pattern-unsupported"
+	ErrInputFailed    ErrorCode = "input-failed"
+	ErrShortcutFailed ErrorCode = "shortcut-failed"
+	ErrMixedQuery     ErrorCode = "further-query-not-exclusive"
+	ErrUnknownLabel   ErrorCode = "unknown-label"
+	ErrBadRange       ErrorCode = "bad-range"
+)
+
+// StepError is the structured error describing why a command failed,
+// including control state and context so the caller can plan around it.
+type StepError struct {
+	Code    ErrorCode
+	NodeID  int    // topology id involved (-1 when not applicable)
+	Control string // control name or label
+	State   string // observed control state ("disabled", "offscreen", ...)
+	Hint    string // guidance for the planner
+}
+
+// Error implements the error interface.
+func (e *StepError) Error() string {
+	msg := fmt.Sprintf("dmi: %s", e.Code)
+	if e.Control != "" {
+		msg += fmt.Sprintf(" (%s)", e.Control)
+	}
+	if e.State != "" {
+		msg += " state=" + e.State
+	}
+	if e.Hint != "" {
+		msg += ": " + e.Hint
+	}
+	return msg
+}
+
+func stepErr(code ErrorCode, nodeID int, control, state, hint string) *StepError {
+	return &StepError{Code: code, NodeID: nodeID, Control: control, State: state, Hint: hint}
+}

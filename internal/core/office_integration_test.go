@@ -1,0 +1,277 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/office/excel"
+	"repro/internal/office/slides"
+	"repro/internal/office/word"
+	"repro/internal/uia"
+	"repro/internal/ung"
+)
+
+// officeSession rips a throwaway instance built by build, then binds the
+// session to the live app.
+func officeSession(t *testing.T, live *uia.Element, app interface{ Name() string }) {}
+
+func makeWordSession(t *testing.T) (*word.App, *Session, *describe.Model) {
+	t.Helper()
+	g, _, err := ung.Rip(word.New().App, ung.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := describe.NewModel(f)
+	w := word.New()
+	return w, NewSession(w.App, m, Options{}), m
+}
+
+func TestWordOrientationViaDMI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	w, s, m := makeWordSession(t)
+	landscape := m.FindLeafByName("Landscape")
+	if landscape == nil {
+		t.Fatal("Landscape not modeled")
+	}
+	res := s.Visit([]Command{Access(m.ID(landscape))})
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if w.Doc.Orientation != "Landscape" {
+		t.Fatalf("orientation = %q", w.Doc.Orientation)
+	}
+}
+
+func TestWordFontColorPathSemanticsViaDMI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	w, s, m := makeWordSession(t)
+	// NOTE: m.FindLeafByName("Blue") would find Design → Colors → "Blue"
+	// (a theme color set) in the main tree — the generic-name ambiguity of
+	// §3.3. The picker's standard-colors Blue lives in the externalized
+	// picker subtree.
+	var blue *forest.Node
+	for _, id := range m.Forest.SharedOrder {
+		m.Forest.Shared[id].Walk(func(n *forest.Node) bool {
+			if blue == nil && n.IsLeaf() && n.Name == "Blue" &&
+				strings.Contains(n.GID, "clrPickerStd") {
+				blue = n
+			}
+			return true
+		})
+	}
+	if blue == nil {
+		t.Fatal("picker Blue cell not in any shared subtree")
+	}
+	tree := m.TreeOf(blue)
+	if tree == "" {
+		t.Fatal("picker not externalized as shared subtree")
+	}
+	// Pick the entry reference that routes through the Font Color opener.
+	var viaFont, viaUnderline int
+	for _, r := range m.RefsTo(tree) {
+		for _, anc := range r.PathFromRoot() {
+			if strings.HasPrefix(anc.GID, "btnFontColor|") {
+				viaFont = m.ID(r)
+			}
+			if strings.HasPrefix(anc.GID, "btnUnderlineColor|") {
+				viaUnderline = m.ID(r)
+			}
+		}
+	}
+	if viaFont == 0 || viaUnderline == 0 {
+		t.Fatalf("entry refs not found (font=%d underline=%d)", viaFont, viaUnderline)
+	}
+
+	// One declarative call: select paragraphs via state declaration, then
+	// two accesses through different entry references.
+	lm := s.CaptureLabels()
+	doc := lm.Find("Document", uia.DocumentControl)
+	if serr := s.SelectParagraphs(lm, doc, 1, 2); serr != nil {
+		t.Fatal(serr)
+	}
+	res := s.Visit([]Command{AccessRef(m.ID(blue), viaFont)})
+	if !res.OK() {
+		t.Fatalf("font-color visit failed: %v", res.Err)
+	}
+	if w.Doc.Paras[0].FontColor != "Blue" || w.Doc.Paras[1].FontColor != "Blue" {
+		t.Fatal("font color not applied to selection")
+	}
+
+	w.Doc.SelectParas(1, 1)
+	res = s.Visit([]Command{AccessRef(m.ID(blue), viaUnderline)})
+	if !res.OK() {
+		t.Fatalf("underline-color visit failed: %v", res.Err)
+	}
+	if w.Doc.Paras[0].UnderlineColor != "Blue" {
+		t.Fatal("underline path semantics broken")
+	}
+}
+
+func TestSlidesTable1Task1ViaDMI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	// The paper's headline example (Table 1, Task 1): make the background
+	// blue on all slides with a single declarative call:
+	// visit(["Blue", "Apply to All"]).
+	g, _, err := ung.Rip(slides.New(12).App, ung.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := describe.NewModel(f)
+	p := slides.New(12)
+	s := NewSession(p.App, m, Options{})
+
+	// "Blue" is a generic name (the Set Up Show pen-color list has one
+	// too); target the picker's standard-colors cell specifically.
+	var blue *forest.Node
+	lookFor := func(tree *forest.Node) {
+		tree.Walk(func(n *forest.Node) bool {
+			if blue == nil && n.IsLeaf() && n.Name == "Blue" &&
+				strings.Contains(n.GID, "clrPickerStd") {
+				blue = n
+			}
+			return true
+		})
+	}
+	lookFor(m.Forest.Main)
+	for _, id := range m.Forest.SharedOrder {
+		lookFor(m.Forest.Shared[id])
+	}
+	applyAll := m.FindLeafByName("Apply to All")
+	if blue == nil || applyAll == nil {
+		t.Fatal("targets not modeled")
+	}
+	cmds := []Command{Access(m.ID(blue)), Access(m.ID(applyAll))}
+	if tree := m.TreeOf(blue); tree != "" {
+		// Route through the Format Background pane's Fill Color opener.
+		for _, r := range m.RefsTo(tree) {
+			for _, anc := range r.PathFromRoot() {
+				if strings.HasPrefix(anc.GID, "btnFillColor|") {
+					cmds[0] = AccessRef(m.ID(blue), m.ID(r))
+				}
+			}
+		}
+	}
+	res := s.Visit(cmds)
+	if !res.OK() {
+		t.Fatalf("Table 1 Task 1 visit failed: %v", res.Err)
+	}
+	if !p.Deck.AllBackgrounds("Blue") {
+		t.Fatal("backgrounds not applied to all slides")
+	}
+}
+
+func TestSlidesTable1Task2ViaDMI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	// Table 1, Task 2: show the area close to the end —
+	// set_scrollbar_pos(80%) instead of an iterative drag loop.
+	p := slides.New(12)
+	g, _, err := ung.Rip(slides.New(12).App, ung.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(p.App, describe.NewModel(f), Options{})
+
+	lm := s.CaptureLabels()
+	sb := lm.Find("Slides Vertical Scroll Bar", uia.ScrollBarControl)
+	if sb == "" {
+		t.Fatal("scrollbar not labeled")
+	}
+	st, serr := s.SetScrollbarPos(lm, sb, uia.NoScroll, 80)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if st.V != 80 {
+		t.Fatalf("scroll status = %v", st)
+	}
+	if p.Thumb(10) == nil || !p.Thumb(10).OnScreen() {
+		t.Fatal("end-of-deck slides not revealed")
+	}
+}
+
+func TestExcelPassiveAndActiveObservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	g, _, err := ung.Rip(excel.New().App, ung.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := excel.New()
+	x.Sheet.SetValue("C2", "a very long cell value that is cut off on screen")
+	s := NewSession(x.App, describe.NewModel(f), Options{})
+
+	lm := s.CaptureLabels()
+	passive := s.PassiveTexts(lm, 16)
+	if !strings.Contains(passive, "B2=120") {
+		t.Errorf("passive texts missing cell: %q", passive)
+	}
+	if strings.Contains(passive, "cut off on screen") {
+		t.Error("passive texts not truncated")
+	}
+	label := lm.Find("C2", uia.DataItemControl)
+	texts, serr := s.GetTexts(lm, []string{label})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if texts[label] != "a very long cell value that is cut off on screen" {
+		t.Errorf("active read truncated: %q", texts[label])
+	}
+}
+
+func TestExcelNameBoxCommitViaDMI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	g, _, err := ung.Rip(excel.New().App, ung.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := forest.Transform(g, forest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := describe.NewModel(f)
+	x := excel.New()
+	s := NewSession(x.App, m, Options{})
+
+	nameBox := m.FindLeafByName("Name Box")
+	if nameBox == nil {
+		t.Fatal("Name Box not modeled")
+	}
+	res := s.Visit([]Command{
+		Input(m.ID(nameBox), "B25"),
+		Shortcut("ENTER"),
+	})
+	if !res.OK() {
+		t.Fatalf("visit failed: %v", res.Err)
+	}
+	if x.Sheet.ActiveCell != "B25" {
+		t.Fatalf("active cell = %q", x.Sheet.ActiveCell)
+	}
+}

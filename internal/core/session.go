@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/appkit"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/strutil"
+)
+
+// Options tunes the DMI executor. The Disable* switches exist for the
+// ablation benchmarks of the robustness mechanisms.
+type Options struct {
+	// Retries is how many extra observation rounds the navigator spends
+	// waiting for slowly-loading controls before reporting failure
+	// (default 3). Shortcut-key commands are never retried (§3.4).
+	Retries int
+	// FuzzyThreshold is the minimum similarity for the fuzzy control
+	// matcher (default 0.62).
+	FuzzyThreshold float64
+	// MaxWindowCloses bounds how many windows navigation may close while
+	// searching for the target's window (default 8).
+	MaxWindowCloses int
+
+	DisableLeafFilter bool // ablation: trust LLM navigation output verbatim
+	DisableFuzzy      bool // ablation: exact identifier matching only
+	DisableRetry      bool // ablation: fail on first missing control
+}
+
+func (o *Options) fill() {
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.FuzzyThreshold == 0 {
+		o.FuzzyThreshold = 0.62
+	}
+	if o.MaxWindowCloses == 0 {
+		o.MaxWindowCloses = 8
+	}
+}
+
+// Session binds the DMI runtime to one application and its offline model.
+type Session struct {
+	App   *appkit.App
+	Model *describe.Model
+	Opt   Options
+
+	// Actions counts primitive UI operations performed through the
+	// session (clicks, keystrokes, pattern calls) for the evaluation.
+	Actions int
+}
+
+// NewSession creates a DMI session.
+func NewSession(app *appkit.App, model *describe.Model, opt Options) *Session {
+	opt.fill()
+	return &Session{App: app, Model: model, Opt: opt}
+}
+
+// CoreTopology renders the default context payload: the depth-limited,
+// large-enumeration-pruned core topology (paper §3.3).
+func (s *Session) CoreTopology() string {
+	return s.Model.Serialize(describe.CoreOptions())
+}
+
+// FullTopology renders the complete forest.
+func (s *Session) FullTopology() string {
+	return s.Model.Serialize(describe.FullOptions())
+}
+
+// gidParts splits a synthesized control identifier into its primary id,
+// control type name, and ancestor path components.
+func gidParts(gid string) (primary, ctype string, ancestors []string) {
+	parts := strings.SplitN(gid, "|", 3)
+	primary = parts[0]
+	if len(parts) > 1 {
+		ctype = parts[1]
+	}
+	if len(parts) > 2 && parts[2] != "" {
+		ancestors = strings.Split(parts[2], "/")
+	}
+	return
+}
+
+// matchScore rates how well a live element matches a topology step,
+// combining control type, name similarity, and ancestor overlap — the fuzzy
+// matcher of §3.4.
+func matchScore(step *forest.Node, elPrimary, elName string, elAncestors []string) float64 {
+	primary, _, anc := gidParts(step.GID)
+	nameSim := strutil.Similarity(primary, elPrimary)
+	if s := strutil.Similarity(step.Name, elName); s > nameSim {
+		nameSim = s
+	}
+	overlap := ancestorOverlap(anc, elAncestors)
+	return 0.7*nameSim + 0.3*overlap
+}
+
+func ancestorOverlap(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	hit := 0
+	for _, y := range b {
+		if set[y] {
+			hit++
+		}
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(hit) / float64(max)
+}
+
+// uiCost advances the simulated clock for bookkeeping of non-click
+// operations performed by state/observation interfaces.
+const uiCost = 50 * time.Millisecond

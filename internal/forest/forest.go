@@ -1,0 +1,356 @@
+// Package forest transforms the UI Navigation Graph into a
+// path-unambiguous topology (paper §3.2): first cycles are removed
+// (back-edge elimination yields a single-source DAG), then merge nodes are
+// resolved by cost-based selective externalization, producing a forest of
+// one main tree plus shared subtrees connected through reference nodes.
+//
+// The naive alternative — cloning every merge node's substructure along all
+// incoming edges — guarantees unique paths but explodes exponentially
+// (Figure 4); the package computes that size too, for comparison.
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/uia"
+	"repro/internal/ung"
+)
+
+// Node is one position in a tree of the forest. A node with a non-empty
+// RefTarget is a reference node: it stands for an externalized shared
+// subtree and has no children of its own.
+type Node struct {
+	GID  string // originating UNG node id ("" only for synthetic roots)
+	Name string
+	Type uia.ControlType
+	Desc string
+
+	LargeEnum bool
+	Context   string
+
+	RefTarget string // UNG id of the shared subtree this reference points to
+
+	Parent   *Node
+	Children []*Node
+}
+
+// IsRef reports whether the node is a reference into a shared subtree.
+func (n *Node) IsRef() bool { return n.RefTarget != "" }
+
+// IsLeaf reports whether the node has no children and is not a reference.
+// Leaves are the functional controls; non-leaves are navigation controls
+// that the visit interface filters out of LLM output (paper §3.4).
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 && !n.IsRef() }
+
+// Walk visits n and every descendant in depth-first order.
+func (n *Node) Walk(visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Count returns the number of nodes in the subtree.
+func (n *Node) Count() int {
+	c := 0
+	n.Walk(func(*Node) bool { c++; return true })
+	return c
+}
+
+// Depth returns the height of the subtree (leaf = 1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// PathFromRoot returns the chain of nodes from the tree root down to n,
+// inclusive. Within a tree this path is unique — the path-unambiguity
+// property the transformation exists to establish.
+func (n *Node) PathFromRoot() []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	out := make([]*Node, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}
+
+// Forest is the path-unambiguous topology: a main tree rooted at the
+// application plus shared subtrees reachable through reference nodes. The
+// entry map (reference node → subtree root) is implicit in RefTarget.
+type Forest struct {
+	App    string
+	Main   *Node
+	Shared map[string]*Node // UNG id of subtree root → tree
+	// SharedOrder lists shared-subtree roots in externalization order.
+	SharedOrder []string
+}
+
+// Tree returns the tree containing shared subtree id, or the main tree for
+// the empty string.
+func (f *Forest) Tree(id string) *Node {
+	if id == "" {
+		return f.Main
+	}
+	return f.Shared[id]
+}
+
+// NodeCount returns the total node count across the main tree and all
+// shared subtrees.
+func (f *Forest) NodeCount() int {
+	n := f.Main.Count()
+	for _, s := range f.Shared {
+		n += s.Count()
+	}
+	return n
+}
+
+// Options tunes the transformation.
+type Options struct {
+	// CloneThreshold is the cost (in additional cloned nodes) above which
+	// a merge node is externalized as a shared subtree instead of being
+	// cloned along each incoming edge. Default 64.
+	CloneThreshold int
+}
+
+// Stats reports what the transformation did.
+type Stats struct {
+	GraphNodes       int
+	GraphEdges       int
+	BackEdgesRemoved int
+	MergeNodes       int
+	Externalized     int
+	Cloned           int // merge nodes resolved by cloning
+	ForestNodes      int
+	SharedSubtrees   int
+	MainTreeNodes    int
+	// NaiveTreeNodes is the size of the fully-cloned single tree (Figure
+	// 4's exploding alternative), saturating at MaxInt64.
+	NaiveTreeNodes int64
+}
+
+// Transform converts a UNG into a path-unambiguous forest.
+func Transform(g *ung.Graph, opt Options) (*Forest, Stats, error) {
+	if opt.CloneThreshold <= 0 {
+		opt.CloneThreshold = 64
+	}
+	var st Stats
+	st.GraphNodes = g.NodeCount()
+	st.GraphEdges = g.EdgeCount()
+
+	dag, removed := decycle(g)
+	st.BackEdgesRemoved = removed
+
+	order, err := topoOrder(g, dag)
+	if err != nil {
+		return nil, st, err
+	}
+
+	indeg := make(map[string]int, len(dag))
+	for _, outs := range dag {
+		for _, to := range outs {
+			indeg[to]++
+		}
+	}
+	for _, id := range g.Order {
+		if len(dag[id]) >= 0 && indeg[id] > 1 {
+			st.MergeNodes++
+		}
+	}
+
+	st.NaiveTreeNodes = naiveSize(dag, order)
+
+	// Cost-based selective externalization, bottom-up in reverse
+	// topological order (paper §3.2): T(v) is the materialized subtree
+	// size given prior decisions; externalizing replaces every occurrence
+	// with a 1-node reference.
+	size := make(map[string]int64, len(dag))
+	external := make(map[string]bool)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var t int64 = 1
+		for _, c := range dag[v] {
+			if external[c] {
+				t++
+			} else {
+				t += size[c]
+			}
+		}
+		size[v] = t
+		if v == ung.RootID {
+			continue
+		}
+		if d := indeg[v]; d > 1 {
+			cost := int64(d-1) * t
+			if cost > int64(opt.CloneThreshold) {
+				external[v] = true
+				st.Externalized++
+			} else {
+				st.Cloned++
+			}
+		}
+	}
+
+	f := &Forest{App: g.App, Shared: make(map[string]*Node)}
+	f.Main = materialize(g, dag, ung.RootID, external, nil)
+	for _, id := range order {
+		if external[id] {
+			f.Shared[id] = materialize(g, dag, id, external, nil)
+			f.SharedOrder = append(f.SharedOrder, id)
+		}
+	}
+
+	st.ForestNodes = f.NodeCount()
+	st.MainTreeNodes = f.Main.Count()
+	st.SharedSubtrees = len(f.Shared)
+	return f, st, nil
+}
+
+// decycle removes back edges found by iterative DFS from the root, returning
+// the remaining adjacency and the number of edges removed (paper §3.2,
+// "decycle the graph to a DAG").
+func decycle(g *ung.Graph) (map[string][]string, int) {
+	adj := make(map[string][]string, len(g.Nodes))
+	onStack := make(map[string]bool)
+	visited := make(map[string]bool)
+	removed := 0
+
+	type frame struct {
+		id string
+		i  int
+	}
+	var stack []frame
+	push := func(id string) {
+		stack = append(stack, frame{id: id})
+		onStack[id] = true
+		visited[id] = true
+		adj[id] = nil
+	}
+	push(ung.RootID)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		node := g.Nodes[top.id]
+		if top.i >= len(node.Out) {
+			onStack[top.id] = false
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		next := node.Out[top.i]
+		top.i++
+		if onStack[next] {
+			removed++ // back edge: drop it
+			continue
+		}
+		adj[top.id] = append(adj[top.id], next)
+		if !visited[next] {
+			push(next)
+		}
+	}
+	return adj, removed
+}
+
+// topoOrder returns a topological order of the DAG (root first).
+func topoOrder(g *ung.Graph, dag map[string][]string) ([]string, error) {
+	indeg := make(map[string]int, len(dag))
+	for id := range dag {
+		indeg[id] += 0
+	}
+	for _, outs := range dag {
+		for _, to := range outs {
+			indeg[to]++
+		}
+	}
+	var queue []string
+	for _, id := range g.Order { // deterministic: discovery order
+		if _, ok := dag[id]; ok && indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	var order []string
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		for _, to := range dag[cur] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(dag) {
+		return nil, fmt.Errorf("forest: decycled graph still has a cycle (%d of %d ordered)",
+			len(order), len(dag))
+	}
+	return order, nil
+}
+
+// naiveSize computes the node count of the fully-cloned tree: every merge
+// node duplicated along each incoming edge (the Figure 4 blow-up). The
+// value is computed bottom-up and saturates at MaxInt64.
+func naiveSize(dag map[string][]string, order []string) int64 {
+	size := make(map[string]int64, len(dag))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var t int64 = 1
+		for _, c := range dag[v] {
+			t = satAdd(t, size[c])
+		}
+		size[v] = t
+	}
+	return size[ung.RootID]
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// materialize builds the tree rooted at id, cloning non-externalized merge
+// nodes per incoming edge and inserting reference nodes for externalized
+// ones. Nested references (a shared subtree referencing another) arise
+// naturally.
+func materialize(g *ung.Graph, dag map[string][]string, id string, external map[string]bool, parent *Node) *Node {
+	gn := g.Nodes[id]
+	n := &Node{
+		GID:       gn.ID,
+		Name:      gn.Name,
+		Type:      gn.Type,
+		Desc:      gn.Desc,
+		LargeEnum: gn.LargeEnum,
+		Context:   gn.Context,
+		Parent:    parent,
+	}
+	for _, c := range dag[id] {
+		if external[c] {
+			cn := g.Nodes[c]
+			ref := &Node{
+				GID:       cn.ID,
+				Name:      cn.Name,
+				Type:      cn.Type,
+				Desc:      cn.Desc,
+				LargeEnum: cn.LargeEnum,
+				Context:   cn.Context,
+				RefTarget: c,
+				Parent:    n,
+			}
+			n.Children = append(n.Children, ref)
+			continue
+		}
+		n.Children = append(n.Children, materialize(g, dag, c, external, n))
+	}
+	return n
+}

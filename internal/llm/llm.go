@@ -1,0 +1,110 @@
+// Package llm models the LLM side of the evaluation: model profiles with
+// per-channel error rates, a latency/token cost model, and deterministic
+// seeded randomness.
+//
+// The paper evaluates real GPT-5 variants; this reproduction has no model
+// access, so the planner is simulated as a stochastic process whose error
+// channels mirror the paper's failure taxonomy (§5.6): semantic
+// misunderstanding, control-semantics confusion, visual grounding error,
+// composite-interaction error, navigation-planning error, and imperfect
+// instruction-following. The interface under test (GUI-only, GUI+forest,
+// GUI+DMI) determines which channels a task exercises — the same
+// manipulation the paper performs — while task success is still verified
+// against real application state.
+package llm
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Profile characterizes one model configuration.
+type Profile struct {
+	Name      string
+	Reasoning string // "medium" or "minimal"
+
+	// Error channels (probabilities per decision/action).
+	Semantic    float64 // semantic misreading per semantic decision
+	ControlSem  float64 // misinterpreting a control's function (given a trap)
+	Grounding   float64 // visual grounding error per imperative UI action
+	Composite   float64 // error per composite-interaction round (drag, select)
+	NavPlanning float64 // planning a wrong navigation step without app knowledge
+	InstrNoise  float64 // emitting navigation nodes in declarative output
+
+	// Detection and recovery.
+	Detect  float64 // probability an executed mistake is noticed on observation
+	Recover float64 // probability a noticed mistake is fixed on replan
+
+	// KnowsApps is the prior application knowledge in [0,1]; it discounts
+	// NavPlanning (strong models already know Office menus — the ablation
+	// insight of §5.5).
+	KnowsApps float64
+
+	// Latency model: call latency = Base + PerKTok × (prompt tokens/1000),
+	// all simulated time.
+	LatencyBase    time.Duration
+	LatencyPerKTok time.Duration
+
+	// CompletionTokens is the typical completion size per call.
+	CompletionTokens int
+}
+
+// The three evaluated configurations (paper §5.1: GPT-5 medium, GPT-5
+// minimal reasoning, GPT-5-mini medium).
+var (
+	GPT5Medium = Profile{
+		Name: "GPT-5", Reasoning: "Medium",
+		Semantic: 0.085, ControlSem: 0.50, Grounding: 0.22, Composite: 0.45,
+		NavPlanning: 0.28, InstrNoise: 0.12,
+		Detect: 0.60, Recover: 0.75, KnowsApps: 0.93,
+		LatencyBase: 45 * time.Second, LatencyPerKTok: 500 * time.Millisecond,
+		CompletionTokens: 350,
+	}
+	GPT5Minimal = Profile{
+		Name: "GPT-5", Reasoning: "Minimal",
+		Semantic: 0.40, ControlSem: 0.62, Grounding: 0.20, Composite: 0.40,
+		NavPlanning: 0.45, InstrNoise: 0.22,
+		Detect: 0.45, Recover: 0.50, KnowsApps: 0.88,
+		LatencyBase: 26 * time.Second, LatencyPerKTok: 400 * time.Millisecond,
+		CompletionTokens: 120,
+	}
+	GPT5Mini = Profile{
+		Name: "GPT-5-mini", Reasoning: "Medium",
+		Semantic: 0.34, ControlSem: 0.62, Grounding: 0.24, Composite: 0.42,
+		NavPlanning: 0.60, InstrNoise: 0.25,
+		Detect: 0.50, Recover: 0.45, KnowsApps: 0.55,
+		LatencyBase: 16 * time.Second, LatencyPerKTok: 1600 * time.Millisecond,
+		CompletionTokens: 160,
+	}
+)
+
+// CallLatency returns the simulated latency of one LLM call with the given
+// prompt size.
+func (p Profile) CallLatency(promptTokens int) time.Duration {
+	return p.LatencyBase + time.Duration(promptTokens)*p.LatencyPerKTok/1000
+}
+
+// EffectiveNavError returns the navigation-planning error probability given
+// optional external topology knowledge (the navigation forest in the
+// prompt). Knowledge partially substitutes for memorized app layouts:
+// strong models gain little, weak models gain noticeably (§5.5) — but a
+// static map in the prompt is no replacement for executing navigation, so
+// substitution is partial.
+func (p Profile) EffectiveNavError(hasForestKnowledge bool) float64 {
+	know := p.KnowsApps
+	if hasForestKnowledge {
+		know += (1 - know) * 0.55
+	}
+	return p.NavPlanning * (1 - know)
+}
+
+// Rand builds a deterministic RNG for one (experiment, task, run) cell.
+func Rand(experiment, task string, run int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(experiment))
+	h.Write([]byte{0})
+	h.Write([]byte(task))
+	h.Write([]byte{byte(run), byte(run >> 8)})
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}

@@ -1,0 +1,126 @@
+package llm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	for _, p := range []Profile{GPT5Medium, GPT5Minimal, GPT5Mini} {
+		probs := []float64{p.Semantic, p.ControlSem, p.Grounding, p.Composite,
+			p.NavPlanning, p.InstrNoise, p.Detect, p.Recover, p.KnowsApps}
+		for i, v := range probs {
+			if v < 0 || v > 1 {
+				t.Errorf("%s channel %d = %v out of [0,1]", p.Name, i, v)
+			}
+		}
+		if p.LatencyBase <= 0 || p.LatencyPerKTok <= 0 || p.CompletionTokens <= 0 {
+			t.Errorf("%s latency/token model incomplete", p.Name)
+		}
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// Reasoning effort: medium must be more reliable than minimal on the
+	// semantic channel and detection.
+	if GPT5Medium.Semantic >= GPT5Minimal.Semantic {
+		t.Error("medium reasoning should have lower semantic error than minimal")
+	}
+	if GPT5Medium.Detect <= GPT5Minimal.Detect {
+		t.Error("medium reasoning should detect mistakes more reliably")
+	}
+	// Model strength: the small model knows apps less and grounds worse.
+	if GPT5Mini.KnowsApps >= GPT5Medium.KnowsApps {
+		t.Error("mini should have less app knowledge")
+	}
+	if GPT5Mini.Grounding <= GPT5Medium.Grounding {
+		t.Error("mini should ground worse")
+	}
+}
+
+func TestCallLatencyModel(t *testing.T) {
+	p := GPT5Medium
+	small := p.CallLatency(1000)
+	large := p.CallLatency(31000)
+	if small <= p.LatencyBase {
+		t.Error("latency must include per-token cost")
+	}
+	if large-small != 30*p.LatencyPerKTok {
+		t.Errorf("per-token scaling wrong: %v vs %v", large-small, 30*p.LatencyPerKTok)
+	}
+	if p.CallLatency(0) != p.LatencyBase {
+		t.Error("zero-token call should cost the base latency")
+	}
+}
+
+func TestEffectiveNavError(t *testing.T) {
+	for _, p := range []Profile{GPT5Medium, GPT5Minimal, GPT5Mini} {
+		without := p.EffectiveNavError(false)
+		with := p.EffectiveNavError(true)
+		if with > without {
+			t.Errorf("%s: forest knowledge must not raise nav error", p.Name)
+		}
+		if without < 0 || without > 1 {
+			t.Errorf("%s: nav error %v out of range", p.Name, without)
+		}
+	}
+	// The weak model gains much more, in absolute terms, than the strong
+	// one — the §5.5 insight.
+	gainStrong := GPT5Medium.EffectiveNavError(false) - GPT5Medium.EffectiveNavError(true)
+	gainWeak := GPT5Mini.EffectiveNavError(false) - GPT5Mini.EffectiveNavError(true)
+	if gainWeak <= gainStrong {
+		t.Errorf("forest gain: weak %v should exceed strong %v", gainWeak, gainStrong)
+	}
+}
+
+func TestRandDeterministicAndDistinct(t *testing.T) {
+	a := Rand("exp", "task", 1)
+	b := Rand("exp", "task", 1)
+	for i := 0; i < 16; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same cell must give the same stream")
+		}
+	}
+	c := Rand("exp", "task", 2)
+	d := Rand("exp", "other", 1)
+	e := Rand("exp2", "task", 1)
+	base := Rand("exp", "task", 1)
+	same := 0
+	for i := 0; i < 16; i++ {
+		v := base.Float64()
+		if c.Float64() == v {
+			same++
+		}
+		_ = d.Float64()
+		_ = e.Float64()
+	}
+	if same == 16 {
+		t.Error("different runs produced identical streams")
+	}
+}
+
+func TestLatencyMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return GPT5Mini.CallLatency(lo) <= GPT5Mini.CallLatency(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerCallLatencyRegime(t *testing.T) {
+	// Paper §2.1: LLM round trips take 10–120+ seconds. Every profile's
+	// realistic call (≈6K-token prompt) must land in that band.
+	for _, p := range []Profile{GPT5Medium, GPT5Minimal, GPT5Mini} {
+		l := p.CallLatency(6000)
+		if l < 10*time.Second || l > 120*time.Second {
+			t.Errorf("%s/%s call latency %v outside the paper's 10–120s regime",
+				p.Name, p.Reasoning, l)
+		}
+	}
+}

@@ -1,0 +1,583 @@
+package osworld
+
+import (
+	"strings"
+
+	"repro/internal/office/excel"
+	"repro/internal/office/slides"
+	"repro/internal/office/word"
+	"repro/internal/uia"
+)
+
+// All returns the 27-task benchmark: 9 Word, 9 Excel, 9 PowerPoint
+// single-application scenarios.
+func All() []Task {
+	var ts []Task
+	ts = append(ts, wordTasks()...)
+	ts = append(ts, excelTasks()...)
+	ts = append(ts, slidesTasks()...)
+	return ts
+}
+
+// ByID returns the task with the given id, or false.
+func ByID(id string) (Task, bool) {
+	for _, t := range All() {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+func access(primary, contains string) PlanStep {
+	return PlanStep{Kind: StepAccess, Target: Target{Primary: primary, GIDContains: contains}}
+}
+
+func accessVia(primary, contains, via string) PlanStep {
+	return PlanStep{Kind: StepAccess, Target: Target{Primary: primary, GIDContains: contains, Via: via}}
+}
+
+func input(primary, text string) PlanStep {
+	return PlanStep{Kind: StepInput, Target: Target{Primary: primary}, Text: text}
+}
+
+func key(k string) PlanStep { return PlanStep{Kind: StepShortcut, Key: k} }
+
+// Word ------------------------------------------------------------------------
+
+func wordTasks() []Task {
+	return []Task{
+		{
+			ID: "word-replace", App: "Word",
+			Description: "Replace every occurrence of 'alpha' with 'omega' in the document.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				w := word.New(
+					"The alpha release shipped late.",
+					"Feedback on alpha was mixed, though alpha adoption grew.",
+					"Next milestone: beta.",
+				)
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return w.Doc.CountOccurrences("alpha") == 0 &&
+						w.Doc.CountOccurrences("omega") == 3
+				}}
+			},
+			Plan: []PlanStep{
+				input("edFindWhat", "alpha"),
+				input("edReplaceWith", "omega"),
+				{Kind: StepAccess, Target: Target{Primary: "btnReplaceAll"},
+					TrapKind: FailControlSem, TrapWeight: 0.3,
+					TrapAlt: &Target{Primary: "btnReplaceOne"}},
+			},
+		},
+		{
+			ID: "word-font-color", App: "Word",
+			Description: "Color the text of paragraphs 2 and 3 blue.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return w.Doc.Paras[1].FontColor == "Blue" &&
+						w.Doc.Paras[2].FontColor == "Blue" &&
+						w.Doc.Paras[0].FontColor != "Blue"
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
+					ControlName: "Document", ControlType: uia.DocumentControl,
+					Start: 2, End: 3}, VisualDiff: 0.5},
+				{Kind: StepAccess, Target: Target{Primary: "Blue",
+					GIDContains: "clrPickerStd", Via: "btnFontColor"},
+					Ambiguity: 0.3, TrapKind: FailControlSem, TrapWeight: 0.4,
+					TrapAlt: &Target{Primary: "Blue", GIDContains: "clrPickerStd", Via: "btnHighlight"}},
+			},
+		},
+		{
+			ID: "word-underline-color", App: "Word",
+			Description: "Give the first paragraph a red underline.",
+			Ambiguity:   0.25,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return w.Doc.Paras[0].Underline &&
+						w.Doc.Paras[0].UnderlineColor == "Red" &&
+						w.Doc.Paras[0].FontColor != "Red"
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
+					ControlName: "Document", ControlType: uia.DocumentControl,
+					Start: 1, End: 1}, VisualDiff: 0.3},
+				// The picker path decides the semantics: underline color,
+				// not font color — the canonical path-ambiguity trap.
+				{Kind: StepAccess, Target: Target{Primary: "Red",
+					GIDContains: "clrPickerStd", Via: "btnUnderlineColor"},
+					Ambiguity: 0.3, TrapKind: FailControlSem, TrapWeight: 0.8,
+					TrapAlt: &Target{Primary: "Red", GIDContains: "clrPickerStd", Via: "btnFontColor"}},
+			},
+		},
+		{
+			ID: "word-bold", App: "Word",
+			Description: "Make paragraphs 2 through 4 bold.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return !w.Doc.Paras[0].Bold && w.Doc.Paras[1].Bold &&
+						w.Doc.Paras[2].Bold && w.Doc.Paras[3].Bold
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
+					ControlName: "Document", ControlType: uia.DocumentControl,
+					Start: 2, End: 4}, VisualDiff: 0.5},
+				access("btnBold", ""),
+			},
+		},
+		{
+			ID: "word-orientation", App: "Word",
+			Description: "Switch the page to landscape orientation.",
+			Ambiguity:   0.05,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return w.Doc.Orientation == "Landscape"
+				}}
+			},
+			Plan: []PlanStep{access("Landscape", "mnuOrientation")},
+		},
+		{
+			ID: "word-line-spacing", App: "Word",
+			Description: "Set the line spacing of the whole document to 1.5.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					for _, p := range w.Doc.Paras {
+						if p.LineSpacing != 1.5 {
+							return false
+						}
+					}
+					return true
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
+					ControlName: "Document", ControlType: uia.DocumentControl,
+					Start: 1, End: 5}, VisualDiff: 0.4,
+					TrapKind: FailSubtleSem, TrapWeight: 0.35, TrapAlt: nil},
+				{Kind: StepAccess, Target: Target{Primary: "1.50", GIDContains: "mnuLineSpacing"},
+					Ambiguity: 0.2,
+					TrapKind:  FailAmbiguousTask, TrapWeight: 0.25,
+					TrapAlt: &Target{Primary: "1.15", GIDContains: "mnuLineSpacing"}},
+			},
+		},
+		{
+			ID: "word-table", App: "Word",
+			Description: "Insert a table with 4 columns and 3 rows.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					tbl, ok := w.Doc.LastTable()
+					return ok && tbl.Cols == 4 && tbl.Rows == 3
+				}}
+			},
+			Plan: []PlanStep{
+				// "4x3" reads columns×rows in the grid; transposing it is
+				// the classic control-semantics slip.
+				{Kind: StepAccess, Target: Target{Primary: "4x3 Table", GIDContains: "pnlTableGrid"},
+					VisualDiff: 0.6, TrapKind: FailControlSem, TrapWeight: 0.5,
+					TrapAlt: &Target{Primary: "3x4 Table", GIDContains: "pnlTableGrid"}},
+			},
+		},
+		{
+			ID: "word-save-as", App: "Word",
+			Description: "Save the document under the name 'report_final'.",
+			Ambiguity:   0.05,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return w.Doc.Saved == "report_final"
+				}}
+			},
+			Plan: []PlanStep{
+				input("saveAsName", "report_final"),
+				access("dlgSaveAsOK", ""),
+			},
+		},
+		{
+			ID: "word-header", App: "Word",
+			Description: "Add the Austin header to the document.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				w := word.New()
+				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
+					return w.Doc.Header == "Austin Header"
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "Austin Header", GIDContains: "galHeader"},
+					Ambiguity: 0.2,
+					TrapKind:  FailAmbiguousTask, TrapWeight: 0.25,
+					TrapAlt: &Target{Primary: "Austin Footer", GIDContains: "galFooter"}},
+			},
+		},
+	}
+}
+
+// Excel -----------------------------------------------------------------------
+
+func excelTasks() []Task {
+	return []Task{
+		{
+			ID: "excel-percentage", App: "Excel",
+			Description: "Format cells B2 through B6 as percentages.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					for _, ref := range []string{"B2", "B3", "B4", "B5", "B6"} {
+						if x.Sheet.Cell(ref).Format != "Percentage" {
+							return false
+						}
+					}
+					return x.Sheet.Cell("C2").Format != "Percentage"
+				}}
+			},
+			Plan: []PlanStep{
+				input("edNameBox", "B2:B6"),
+				key("ENTER"),
+				{Kind: StepAccess, Target: Target{Primary: "Percentage", GIDContains: "cbNumberFormat"},
+					Ambiguity: 0.15},
+			},
+		},
+		{
+			ID: "excel-cond-format", App: "Excel",
+			Description: "Highlight sales greater than 100 in B2:B6 using conditional formatting.",
+			Ambiguity:   0.25,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					want := map[string]bool{"B2": true, "B3": false, "B4": true, "B5": false, "B6": true}
+					for ref, hl := range want {
+						if (x.Sheet.Cell(ref).Fill != "") != hl {
+							return false
+						}
+					}
+					return len(x.Sheet.CondRules) > 0
+				}}
+			},
+			Plan: []PlanStep{
+				input("edNameBox", "B2:B6"),
+				key("ENTER"),
+				{Kind: StepInput, Target: Target{Primary: "edGTValue"}, Text: "100",
+					Ambiguity: 0.2, TrapKind: FailControlSem, TrapWeight: 0.35},
+				access("dlgGreaterThanOK", ""),
+			},
+		},
+		{
+			ID: "excel-sort", App: "Excel",
+			Description: "Sort the data by the Sales column, largest first.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					col := x.Sheet.Column("B")
+					return len(col) >= 6 && col[1] == "143" && col[5] == "88" &&
+						x.Sheet.Value("A2") == "East"
+				}}
+			},
+			Plan: []PlanStep{
+				// "Sales" is column B: a semantic mapping the model must get
+				// right from the sheet content.
+				{Kind: StepAccess, Target: Target{Primary: "Column B", GIDContains: "cbSortBy"},
+					Ambiguity: 0.35, TrapKind: FailAmbiguousTask, TrapWeight: 0.35,
+					TrapAlt: &Target{Primary: "Column C", GIDContains: "cbSortBy"}},
+				{Kind: StepAccess, Target: Target{Primary: "Descending", GIDContains: "cbSortOrder"},
+					Ambiguity: 0.15},
+				access("dlgSortOK", ""),
+			},
+		},
+		{
+			ID: "excel-freeze", App: "Excel",
+			Description: "Keep the header row visible while scrolling.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					return x.Sheet.FrozenTopRow && !x.Sheet.FrozenFirstCol
+				}}
+			},
+			Plan: []PlanStep{
+				// "Freeze Panes" (freezes row AND column at the cursor) is
+				// the misinterpretation; "Freeze Top Row" is correct.
+				{Kind: StepAccess, Target: Target{Primary: "btnFreezeTopRow"},
+					Ambiguity: 0.2, TrapKind: FailControlSem, TrapWeight: 0.5,
+					TrapAlt: &Target{Primary: "btnFreezePanesItem"}},
+			},
+		},
+		{
+			ID: "excel-formula", App: "Excel",
+			Description: "Put the formula =SUM(B2:B6) into cell D2.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					return x.Sheet.Value("D2") == "=SUM(B2:B6)"
+				}}
+			},
+			Plan: []PlanStep{
+				input("edNameBox", "D2"),
+				key("ENTER"),
+				input("edFormulaBar", "=SUM(B2:B6)"),
+				// Forgetting the commit keystroke is the subtle trap the
+				// paper's §5.7 lesson describes for the Name Box family.
+				{Kind: StepShortcut, Key: "ENTER",
+					TrapKind: FailSubtleSem, TrapWeight: 0.3, TrapAlt: nil},
+			},
+		},
+		{
+			ID: "excel-read-cell", App: "Excel",
+			Description: "Report the value stored in cell C22.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				x := excel.New()
+				x.Sheet.SetValue("C22", "1379.25")
+				return &Env{App: x.App, Kind: "Excel", Expected: "1379.25",
+					verify: func(e *Env) bool {
+						return strings.TrimSpace(e.Answer) == e.Expected
+					}}
+			},
+			Plan: []PlanStep{
+				input("edNameBox", "C22"),
+				key("ENTER"),
+				{Kind: StepObserve, Target: Target{Primary: "cellC22"}, VisualDiff: 0.8},
+			},
+		},
+		{
+			ID: "excel-col-width", App: "Excel",
+			Description: "Set the width of columns B and C to 20.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					return x.Sheet.ColWidth["B"] == 20 && x.Sheet.ColWidth["C"] == 20
+				}}
+			},
+			Plan: []PlanStep{
+				input("edNameBox", "B1:C1"),
+				key("ENTER"),
+				access("spnColWidth", ""),
+				{Kind: StepState, State: &StateOp{Op: "set_range_value",
+					ControlName: "Column width", ControlType: uia.SpinnerControl,
+					Value: 20}, VisualDiff: 0.4},
+				access("dlgColumnWidthOK", ""),
+			},
+		},
+		{
+			ID: "excel-chart", App: "Excel",
+			Description: "Insert a pie chart for the sales data.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					for _, c := range x.Sheet.Charts {
+						if c == "Pie" {
+							return true
+						}
+					}
+					return false
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "Pie", GIDContains: "galQuickCharts"},
+					Ambiguity: 0.15,
+					TrapKind:  FailAmbiguousTask, TrapWeight: 0.2,
+					TrapAlt: &Target{Primary: "Bar", GIDContains: "galQuickCharts"}},
+			},
+		},
+		{
+			ID: "excel-fill-color", App: "Excel",
+			Description: "Shade the header row A1:C1 gold.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				x := excel.New()
+				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
+					return x.Sheet.Cell("A1").Fill == "Gold" &&
+						x.Sheet.Cell("B1").Fill == "Gold" &&
+						x.Sheet.Cell("C1").Fill == "Gold" &&
+						x.Sheet.Cell("A1").FontColor != "Gold"
+				}}
+			},
+			Plan: []PlanStep{
+				input("edNameBox", "A1:C1"),
+				key("ENTER"),
+				// Fill color vs font color: same picker, different path.
+				{Kind: StepAccess, Target: Target{Primary: "Gold",
+					GIDContains: "clrPickerTheme", Via: "btnFillColor"},
+					Ambiguity: 0.25, TrapKind: FailControlSem, TrapWeight: 0.5,
+					TrapAlt: &Target{Primary: "Gold", GIDContains: "clrPickerTheme", Via: "btnFontColor"}},
+			},
+		},
+	}
+}
+
+// PowerPoint --------------------------------------------------------------------
+
+func slidesTasks() []Task {
+	return []Task{
+		{
+			ID: "ppt-background", App: "PowerPoint",
+			Description: "Make the background blue on all slides.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				p := slides.New(12)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.Deck.AllBackgrounds("Blue")
+				}}
+			},
+			Plan: []PlanStep{
+				access("Solid fill", "rbFill"),
+				accessVia("Blue", "clrPickerStd", "btnFillColor"),
+				// Forgetting Apply to All leaves 11 slides unchanged: the
+				// subtle-semantics trap of the paper's running example.
+				{Kind: StepAccess, Target: Target{Primary: "btnApplyToAll"},
+					TrapKind: FailSubtleSem, TrapWeight: 0.4, TrapAlt: nil},
+			},
+		},
+		{
+			ID: "ppt-scroll", App: "PowerPoint",
+			Description: "Show the slides close to the end of the deck in the thumbnail panel.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				p := slides.New(12)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.ThumbTop() >= 4
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "scrollbar",
+					ControlName: "Slides Vertical Scroll Bar",
+					ControlType: uia.ScrollBarControl,
+					H:           uia.NoScroll, V: 80}, VisualDiff: 0.7},
+			},
+		},
+		{
+			ID: "ppt-new-slide", App: "PowerPoint",
+			Description: "Add a new slide that uses the Title Only layout.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				p := slides.New(5)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return len(p.Deck.Slides) == 6 &&
+						p.Deck.CurrentSlide().Layout == "Title Only"
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "Title Only",
+					GIDContains: "galLayouts", Via: "btnNewSlide"},
+					Ambiguity: 0.2, TrapKind: FailAmbiguousTask, TrapWeight: 0.25,
+					TrapAlt: &Target{Primary: "Title Slide", GIDContains: "galLayouts", Via: "btnNewSlide"}},
+			},
+		},
+		{
+			ID: "ppt-transition", App: "PowerPoint",
+			Description: "Apply the Fade transition to every slide.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				p := slides.New(8)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.Deck.AllTransitions("Fade")
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "Fade", GIDContains: "galTransitions"},
+					Ambiguity: 0.15},
+				{Kind: StepAccess, Target: Target{Primary: "btnApplyToAllTransitions"},
+					TrapKind: FailSubtleSem, TrapWeight: 0.45, TrapAlt: nil},
+			},
+		},
+		{
+			ID: "ppt-picture-border", App: "PowerPoint",
+			Description: "Insert a picture and give it a green border.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				p := slides.New(6)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.PictureBorder == "Green" && p.ContextActive(slides.ContextImageSelected)
+				}}
+			},
+			Plan: []PlanStep{
+				access("pPictures", ""),
+				// The border picker lives behind a context-dependent tab.
+				accessVia("Green", "clrPickerStd", "btnPictureBorderP"),
+			},
+		},
+		{
+			ID: "ppt-slide-size", App: "PowerPoint",
+			Description: "Change the slide size to the standard 4:3 format.",
+			Ambiguity:   0.05,
+			Build: func() *Env {
+				p := slides.New(6)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.Deck.SlideSize == "Standard (4:3)"
+				}}
+			},
+			Plan: []PlanStep{
+				access("Standard (4:3)", "mnuSlideSize"),
+			},
+		},
+		{
+			ID: "ppt-font-size", App: "PowerPoint",
+			Description: "Set the title of slide 2 to font size 48.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				p := slides.New(6)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.Deck.Slides[1].Title().FontSize == 48 &&
+						p.Deck.Slides[0].Title().FontSize != 48
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "thumbSlide2"}, VisualDiff: 0.3,
+					TrapKind: FailSubtleSem, TrapWeight: 0.3, TrapAlt: nil},
+				{Kind: StepAccess, Target: Target{Primary: "48", GIDContains: "pFontSize"},
+					Ambiguity: 0.15,
+					TrapAlt:   &Target{Primary: "36", GIDContains: "pFontSize"}},
+			},
+		},
+		{
+			ID: "ppt-hide-slide", App: "PowerPoint",
+			Description: "Hide slide 3 so it is skipped during the show.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				p := slides.New(6)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.Deck.Slides[2].Hidden && !p.Deck.Slides[1].Hidden
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "thumbSlide3"}, VisualDiff: 0.3,
+					TrapKind: FailAmbiguousTask, TrapWeight: 0.2,
+					TrapAlt: &Target{Primary: "thumbSlide4"}},
+				access("btnHideSlide", ""),
+			},
+		},
+		{
+			ID: "ppt-title-edit", App: "PowerPoint",
+			Description: "Change the title of slide 2 to 'Quarterly Review'.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				p := slides.New(6)
+				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
+					return p.Deck.Slides[1].Title().Text == "Quarterly Review"
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "thumbSlide2"}, VisualDiff: 0.3},
+				input("shpTitle", "Quarterly Review"),
+			},
+		},
+	}
+}

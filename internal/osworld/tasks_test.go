@@ -1,0 +1,88 @@
+package osworld
+
+import "testing"
+
+func TestBenchmarkShape(t *testing.T) {
+	tasks := All()
+	if len(tasks) != 27 {
+		t.Fatalf("benchmark has %d tasks, want 27 (OSWorld-W single-app)", len(tasks))
+	}
+	perApp := map[string]int{}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.ID] {
+			t.Errorf("duplicate task id %q", task.ID)
+		}
+		seen[task.ID] = true
+		perApp[task.App]++
+		if task.Description == "" || len(task.Plan) == 0 {
+			t.Errorf("task %q incomplete", task.ID)
+		}
+	}
+	for _, app := range []string{"Word", "Excel", "PowerPoint"} {
+		if perApp[app] != 9 {
+			t.Errorf("%s has %d tasks, want 9", app, perApp[app])
+		}
+	}
+}
+
+func TestTasksBuildFreshAndUnsolved(t *testing.T) {
+	for _, task := range All() {
+		task := task
+		t.Run(task.ID, func(t *testing.T) {
+			env := task.Build()
+			if env.App == nil || env.Kind != task.App {
+				t.Fatalf("env app wiring wrong: kind=%q", env.Kind)
+			}
+			if env.Verify() {
+				t.Fatal("freshly built task already verifies (verifier too weak)")
+			}
+			// A second build is independent state.
+			env2 := task.Build()
+			if env2.App == env.App {
+				t.Fatal("Build returned a shared application instance")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("ppt-background"); !ok {
+		t.Fatal("known id not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestPolicyLevelClassification(t *testing.T) {
+	policy := []string{FailAmbiguousTask, FailControlSem, FailSubtleSem}
+	mechanism := []string{FailVisualSem, FailTopology, FailGroundingNav,
+		FailComposite, FailStepCap, FailExecution}
+	for _, c := range policy {
+		if !PolicyLevel(c) {
+			t.Errorf("%s should be policy-level", c)
+		}
+	}
+	for _, c := range mechanism {
+		if PolicyLevel(c) {
+			t.Errorf("%s should be mechanism-level", c)
+		}
+	}
+}
+
+func TestObservationTaskAnswers(t *testing.T) {
+	task, _ := ByID("excel-read-cell")
+	env := task.Build()
+	if env.Expected == "" {
+		t.Fatal("observation task lacks expected answer")
+	}
+	env.Answer = env.Expected
+	if !env.Verify() {
+		t.Fatal("correct answer rejected")
+	}
+	env.Answer = "wrong"
+	if env.Verify() {
+		t.Fatal("wrong answer accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Package osworld defines the evaluation benchmark: 27 single-application
+// tasks over the simulated Word, Excel, and PowerPoint — the shape of the
+// OSWorld-W (Windows) subset the paper evaluates (§5.1). Every task builds
+// a fresh application instance, carries a ground-truth semantic plan
+// annotated with difficulty and failure-trap metadata, and verifies success
+// against real application state after the agent runs.
+package osworld
+
+import (
+	"repro/internal/appkit"
+	"repro/internal/uia"
+)
+
+// StepKind classifies ground-truth plan steps.
+type StepKind int
+
+// Plan step kinds.
+const (
+	StepAccess   StepKind = iota // navigate to a functional control and click
+	StepInput                    // access an edit control and type
+	StepShortcut                 // press a key combination
+	StepState                    // drive a control to a target state (composite in GUI)
+	StepObserve                  // retrieve information (answer tasks)
+)
+
+// Target names a functional control in interface-agnostic terms; the agent
+// resolves it against the offline model (DMI) or the live UI (GUI).
+type Target struct {
+	// Primary is the control's primary identifier (automation id, or name
+	// for unnamed-id controls).
+	Primary string
+	// GIDContains optionally disambiguates by requiring this substring in
+	// the synthesized control id (e.g. the containing pane's id).
+	GIDContains string
+	// Via selects the entry path for shared-subtree targets: the primary
+	// id of the opener whose semantics the task needs (Font Color vs
+	// Underline Color).
+	Via string
+}
+
+// StateOp describes a state or observation declaration target.
+type StateOp struct {
+	Op          string // "scrollbar", "select_lines", "select_paragraphs", "select_controls", "set_range_value"
+	ControlName string
+	ControlType uia.ControlType
+	H, V        float64  // scrollbar percentages (uia.NoScroll to skip an axis)
+	Start, End  int      // selection ranges (1-based)
+	Names       []string // select_controls targets, by on-screen name
+	Value       float64  // set_range_value
+}
+
+// PlanStep is one semantic step of the ground-truth plan.
+type PlanStep struct {
+	Kind   StepKind
+	Target Target
+	Text   string // StepInput
+	Key    string // StepShortcut
+	State  *StateOp
+
+	// Ambiguity raises the semantic-error probability for this decision;
+	// VisualDiff raises the grounding-error probability of imperative
+	// execution.
+	Ambiguity  float64
+	VisualDiff float64
+
+	// Trap models a specific plausible misinterpretation (the paper's
+	// failure taxonomy): when it fires, the agent picks TrapAlt instead
+	// of Target (or skips the step if TrapAlt is nil) and tags the
+	// failure with TrapKind.
+	TrapKind   string  // "control-semantics", "subtle-semantics", "ambiguous-task"
+	TrapWeight float64 // multiplier on the profile's ControlSem channel
+	TrapAlt    *Target
+}
+
+// Env is a live task environment: a fresh application plus its verifier.
+type Env struct {
+	App  *appkit.App
+	Kind string // "Word", "Excel", "PowerPoint"
+
+	// Answer records the agent's reply for observation tasks.
+	Answer string
+
+	// Expected is the ground-truth answer for observation tasks ("" for
+	// action tasks).
+	Expected string
+
+	// verify checks real application state.
+	verify func(e *Env) bool
+}
+
+// Verify reports task success from application state (and the recorded
+// answer, for observation tasks).
+func (e *Env) Verify() bool { return e.verify(e) }
+
+// Task is one benchmark scenario.
+type Task struct {
+	ID          string
+	App         string
+	Description string
+	// Ambiguity is task-level instruction vagueness; it scales the
+	// "ambiguous task description" failure channel.
+	Ambiguity float64
+	Build     func() *Env
+	Plan      []PlanStep
+}
+
+// Failure channel tags (paper §5.6). Policy-level channels reflect
+// semantic planning; mechanism-level channels reflect navigation and
+// interaction.
+const (
+	FailAmbiguousTask = "ambiguous-task"
+	FailControlSem    = "control-semantics"
+	FailSubtleSem     = "subtle-semantics"
+	FailVisualSem     = "visual-semantic"
+	FailTopology      = "topology-inaccuracy"
+	FailGroundingNav  = "grounding-navigation"
+	FailComposite     = "composite-interaction"
+	FailStepCap       = "step-cap"
+	FailExecution     = "execution"
+)
+
+// PolicyLevel reports whether a failure channel is policy-level (semantic
+// planning) as opposed to mechanism-level (navigation/interaction); the
+// split of Figure 6.
+func PolicyLevel(channel string) bool {
+	switch channel {
+	case FailAmbiguousTask, FailControlSem, FailSubtleSem:
+		return true
+	}
+	return false
+}

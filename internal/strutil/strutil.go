@@ -1,0 +1,136 @@
+// Package strutil provides small text utilities shared by the modeling and
+// execution layers: edit distance, name-similarity scoring for the fuzzy
+// control matcher, and token-aware truncation helpers.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns a name-similarity score in [0,1]: 1 for equal strings
+// (after case folding and space normalization), decreasing with relative
+// edit distance. It is the core of the fuzzy control matcher (paper §3.4).
+func Similarity(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	if na == nb {
+		return 1
+	}
+	la, lb := len([]rune(na)), len([]rune(nb))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	d := Levenshtein(na, nb)
+	s := 1 - float64(d)/float64(max)
+	if s < 0 {
+		return 0
+	}
+	// Prefix relationships ("Go To" vs "Go To Next") matter for renamed
+	// controls; give containment a floor.
+	if s < 0.6 && (strings.Contains(na, nb) || strings.Contains(nb, na)) {
+		return 0.6
+	}
+	return s
+}
+
+// Normalize lower-cases, trims, and collapses internal whitespace.
+func Normalize(s string) string {
+	var b strings.Builder
+	space := false
+	for _, r := range strings.TrimSpace(s) {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}
+
+// TruncateChars shortens s to at most n runes, appending "…" when truncated.
+// n <= 1 returns "…" for non-empty overlong input.
+func TruncateChars(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	if n <= 1 {
+		return "…"
+	}
+	return string(r[:n-1]) + "…"
+}
+
+// EstimateTokens estimates the LLM token count of s. It approximates a BPE
+// tokenizer (the paper measures with o200k_base): whitespace-separated words
+// contribute ceil(len/4) tokens with a minimum of one, and punctuation and
+// structural characters contribute one token each.
+func EstimateTokens(s string) int {
+	tokens := 0
+	wordLen := 0
+	flush := func() {
+		if wordLen == 0 {
+			return
+		}
+		tokens += (wordLen + 3) / 4
+		wordLen = 0
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			wordLen++
+		default:
+			flush()
+			tokens++
+		}
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,147 @@
+package strutil
+
+import (
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Next", "Go To", 5},
+		{"color", "colour", 1},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(sym, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	ident := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(ident, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("identity:", err)
+	}
+	bound := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+		max := la
+		if lb > max {
+			max = lb
+		}
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= max
+	}
+	if err := quick.Check(bound, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("bounds:", err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if Similarity("Font Color", "font  color") != 1 {
+		t.Error("case/space-insensitive equality should score 1")
+	}
+	if s := Similarity("Go To", "Go To Next"); s < 0.6 {
+		t.Errorf("containment floor: %v", s)
+	}
+	if s := Similarity("Bold", "Italic"); s > 0.4 {
+		t.Errorf("unrelated names too similar: %v", s)
+	}
+	if s := Similarity("Fill Color", "Fill Colour"); s < 0.8 {
+		t.Errorf("near-identical names too dissimilar: %v", s)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  Fill   Color ": "fill color",
+		"OK":              "ok",
+		"":                "",
+		"\tA\nB":          "a b",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTruncateChars(t *testing.T) {
+	if got := TruncateChars("hello world", 5); got != "hell…" {
+		t.Errorf("got %q", got)
+	}
+	if got := TruncateChars("hi", 5); got != "hi" {
+		t.Errorf("short string changed: %q", got)
+	}
+	if got := TruncateChars("hello", 1); got != "…" {
+		t.Errorf("n=1: %q", got)
+	}
+}
+
+func TestTruncateCharsProperty(t *testing.T) {
+	f := func(s string, n uint8) bool {
+		out := TruncateChars(s, int(n))
+		return utf8.RuneCountInString(out) <= int(n) || utf8.RuneCountInString(s) <= int(n) || n <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"OK", 1},
+		{"Bold", 1},
+		{"Format Background", 5}, // ceil(6/4) + ceil(10/4)
+	}
+	for _, c := range cases {
+		if got := EstimateTokens(c.in); got != c.want {
+			t.Errorf("EstimateTokens(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Structural text costs more than plain words of the same length.
+	if EstimateTokens(`a(b)(c)_1[d]`) <= EstimateTokens("abcd") {
+		t.Error("structural characters should add tokens")
+	}
+}
+
+func TestEstimateTokensMonotoneUnderConcat(t *testing.T) {
+	f := func(a, b string) bool {
+		return EstimateTokens(a+" "+b) >= EstimateTokens(a) &&
+			EstimateTokens(a+" "+b) >= EstimateTokens(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

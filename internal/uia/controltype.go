@@ -1,0 +1,154 @@
+// Package uia implements an in-memory accessibility framework modeled on
+// Windows UI Automation (UIA). It is the substrate the DMI reproduction is
+// built on: applications expose trees of Elements with control types and
+// control patterns, a Desktop manages the top-level window stack, and an
+// input layer dispatches clicks, drags, and keystrokes.
+//
+// The framework intentionally reproduces the properties of real UIA that the
+// paper's mechanisms exist to handle: control identifiers are not guaranteed
+// unique, names can drift at runtime, controls may load lazily, and popup or
+// modal windows appear and disappear as interaction proceeds.
+package uia
+
+import "fmt"
+
+// ControlType identifies the kind of a UI control. The set mirrors the 41
+// control types defined by Windows UI Automation.
+type ControlType int
+
+// The 41 UIA control types.
+const (
+	ButtonControl ControlType = iota
+	CalendarControl
+	CheckBoxControl
+	ComboBoxControl
+	EditControl
+	HyperlinkControl
+	ImageControl
+	ListItemControl
+	ListControl
+	MenuControl
+	MenuBarControl
+	MenuItemControl
+	ProgressBarControl
+	RadioButtonControl
+	ScrollBarControl
+	SliderControl
+	SpinnerControl
+	StatusBarControl
+	TabControl
+	TabItemControl
+	TextControl
+	ToolBarControl
+	ToolTipControl
+	TreeControl
+	TreeItemControl
+	CustomControl
+	GroupControl
+	ThumbControl
+	DataGridControl
+	DataItemControl
+	DocumentControl
+	SplitButtonControl
+	WindowControl
+	PaneControl
+	HeaderControl
+	HeaderItemControl
+	TableControl
+	TitleBarControl
+	SeparatorControl
+	SemanticZoomControl
+	AppBarControl
+
+	numControlTypes // sentinel; keep last
+)
+
+// NumControlTypes is the number of distinct control types, matching UIA's 41.
+const NumControlTypes = int(numControlTypes)
+
+var controlTypeNames = [...]string{
+	ButtonControl:       "Button",
+	CalendarControl:     "Calendar",
+	CheckBoxControl:     "CheckBox",
+	ComboBoxControl:     "ComboBox",
+	EditControl:         "Edit",
+	HyperlinkControl:    "Hyperlink",
+	ImageControl:        "Image",
+	ListItemControl:     "ListItem",
+	ListControl:         "List",
+	MenuControl:         "Menu",
+	MenuBarControl:      "MenuBar",
+	MenuItemControl:     "MenuItem",
+	ProgressBarControl:  "ProgressBar",
+	RadioButtonControl:  "RadioButton",
+	ScrollBarControl:    "ScrollBar",
+	SliderControl:       "Slider",
+	SpinnerControl:      "Spinner",
+	StatusBarControl:    "StatusBar",
+	TabControl:          "Tab",
+	TabItemControl:      "TabItem",
+	TextControl:         "Text",
+	ToolBarControl:      "ToolBar",
+	ToolTipControl:      "ToolTip",
+	TreeControl:         "Tree",
+	TreeItemControl:     "TreeItem",
+	CustomControl:       "Custom",
+	GroupControl:        "Group",
+	ThumbControl:        "Thumb",
+	DataGridControl:     "DataGrid",
+	DataItemControl:     "DataItem",
+	DocumentControl:     "Document",
+	SplitButtonControl:  "SplitButton",
+	WindowControl:       "Window",
+	PaneControl:         "Pane",
+	HeaderControl:       "Header",
+	HeaderItemControl:   "HeaderItem",
+	TableControl:        "Table",
+	TitleBarControl:     "TitleBar",
+	SeparatorControl:    "Separator",
+	SemanticZoomControl: "SemanticZoom",
+	AppBarControl:       "AppBar",
+}
+
+// String returns the UIA-style name of the control type (e.g. "TabItem").
+func (t ControlType) String() string {
+	if t < 0 || int(t) >= len(controlTypeNames) {
+		return fmt.Sprintf("ControlType(%d)", int(t))
+	}
+	return controlTypeNames[t]
+}
+
+// ParseControlType maps a UIA-style name back to its ControlType. The second
+// result reports whether the name was recognized.
+func ParseControlType(s string) (ControlType, bool) {
+	for i, n := range controlTypeNames {
+		if n == s {
+			return ControlType(i), true
+		}
+	}
+	return CustomControl, false
+}
+
+// IsInteractive reports whether controls of this type respond to a primitive
+// click. Purely informational types (Text, Separator, TitleBar, ...) do not.
+func (t ControlType) IsInteractive() bool {
+	switch t {
+	case TextControl, SeparatorControl, TitleBarControl, ProgressBarControl,
+		StatusBarControl, ToolTipControl, ImageControl, HeaderControl:
+		return false
+	}
+	return true
+}
+
+// IsKeyType reports whether the type is one of the pivotal navigation types
+// for which full descriptions are always attached during serialization
+// (see paper §4.2: Menu, TabItem, ComboBox, Group, Button and kin).
+func (t ControlType) IsKeyType() bool {
+	switch t {
+	case MenuControl, MenuBarControl, MenuItemControl, TabControl,
+		TabItemControl, ComboBoxControl, GroupControl, ButtonControl,
+		SplitButtonControl:
+		return true
+	}
+	return false
+}

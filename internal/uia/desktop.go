@@ -1,0 +1,371 @@
+package uia
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by interaction entry points.
+var (
+	ErrNotOnScreen  = errors.New("uia: element is not on screen")
+	ErrDisabled     = errors.New("uia: element is disabled")
+	ErrNoPattern    = errors.New("uia: element does not support the required pattern")
+	ErrNoHit        = errors.New("uia: no element at coordinates")
+	ErrNoFocus      = errors.New("uia: no element has keyboard focus")
+	ErrUnknownKey   = errors.New("uia: unknown key combination")
+	ErrWindowClosed = errors.New("uia: window is no longer open")
+)
+
+// WindowEvent describes a change in the top-level window set.
+type WindowEvent struct {
+	Opened bool // true = window opened, false = closed
+	Window *Element
+}
+
+// Clock is the simulated wall clock shared by the desktop, the agents, and
+// the benchmark harness. UI actions advance it by realistic small amounts;
+// the LLM-latency model advances it by tens of seconds per call.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the elapsed simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d (negative values are ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Simulated costs of primitive UI operations.
+const (
+	CostSnapshot = 150 * time.Millisecond
+	CostClick    = 80 * time.Millisecond
+	CostDragStep = 250 * time.Millisecond
+	CostKeyComb  = 60 * time.Millisecond
+	CostPerChar  = 15 * time.Millisecond
+)
+
+// Desktop owns the top-level window stack of one simulated machine, the
+// keyboard focus, the simulated clock, and window event listeners — the
+// surface the GUI ripper's "process_id and window listeners" hook into.
+type Desktop struct {
+	clock     Clock
+	windows   []*Element // bottom ... top (top = active)
+	focus     *Element
+	listeners []func(WindowEvent)
+
+	// KeyHandlers maps key combinations ("ENTER", "ESC", "CTRL+S", ...)
+	// to application-level behaviour. Applications register these.
+	keyHandlers map[string]func(d *Desktop) error
+
+	snapshots int // number of accessibility snapshots taken (drives lazy loading)
+}
+
+// NewDesktop creates an empty desktop.
+func NewDesktop() *Desktop {
+	return &Desktop{keyHandlers: make(map[string]func(*Desktop) error)}
+}
+
+// Clock returns the desktop's simulated clock.
+func (d *Desktop) Clock() *Clock { return &d.clock }
+
+// Windows returns the current top-level windows, bottom to top. Callers must
+// not mutate the slice.
+func (d *Desktop) Windows() []*Element { return d.windows }
+
+// TopWindow returns the topmost (active) visible window, or nil.
+func (d *Desktop) TopWindow() *Element {
+	for i := len(d.windows) - 1; i >= 0; i-- {
+		if d.windows[i].Visible() {
+			return d.windows[i]
+		}
+	}
+	return nil
+}
+
+// OpenWindow pushes w onto the window stack and notifies listeners. The
+// element should have WindowControl type (or PaneControl for popups).
+func (d *Desktop) OpenWindow(w *Element) {
+	d.windows = append(d.windows, w)
+	d.notify(WindowEvent{Opened: true, Window: w})
+}
+
+// CloseWindow removes w from the stack and notifies listeners. Keyboard
+// focus is dropped if it lived inside w.
+func (d *Desktop) CloseWindow(w *Element) {
+	for i, win := range d.windows {
+		if win == w {
+			d.windows = append(d.windows[:i], d.windows[i+1:]...)
+			if d.focus != nil && d.focus.IsDescendantOf(w) {
+				d.focus = nil
+			}
+			d.notify(WindowEvent{Opened: false, Window: w})
+			return
+		}
+	}
+}
+
+// IsOpen reports whether w is currently on the window stack.
+func (d *Desktop) IsOpen(w *Element) bool {
+	for _, win := range d.windows {
+		if win == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Listen registers a window-event listener. Listeners fire synchronously on
+// open and close.
+func (d *Desktop) Listen(fn func(WindowEvent)) { d.listeners = append(d.listeners, fn) }
+
+func (d *Desktop) notify(ev WindowEvent) {
+	for _, fn := range d.listeners {
+		fn(ev)
+	}
+}
+
+// Focus returns the element with keyboard focus, or nil.
+func (d *Desktop) Focus() *Element { return d.focus }
+
+// SetFocus moves keyboard focus. Passing nil clears focus.
+func (d *Desktop) SetFocus(e *Element) { d.focus = e }
+
+// RegisterKey installs application behaviour for a key combination. Key
+// names are upper-cased internally.
+func (d *Desktop) RegisterKey(combo string, fn func(*Desktop) error) {
+	d.keyHandlers[normalizeKey(combo)] = fn
+}
+
+// Snapshot captures the accessibility tree of every visible window, in
+// stacking order, advancing lazy-loading counters: an element whose
+// visibility was deferred becomes visible only after enough snapshots have
+// observed its window. The returned slice contains every on-screen element.
+func (d *Desktop) Snapshot() []*Element {
+	d.clock.Advance(CostSnapshot)
+	d.snapshots++
+	var out []*Element
+	for _, w := range d.windows {
+		if !w.Visible() {
+			continue
+		}
+		w.Walk(func(e *Element) bool {
+			if e.deferVisible > 0 {
+				e.deferVisible--
+				return false // hidden this round, children too
+			}
+			if !e.Visible() {
+				return false
+			}
+			out = append(out, e)
+			return true
+		})
+	}
+	return out
+}
+
+// SnapshotWindow captures the on-screen elements of a single window.
+func (d *Desktop) SnapshotWindow(w *Element) []*Element {
+	d.clock.Advance(CostSnapshot)
+	d.snapshots++
+	var out []*Element
+	if !w.Visible() || !d.IsOpen(w) {
+		return out
+	}
+	w.Walk(func(e *Element) bool {
+		if e.deferVisible > 0 {
+			e.deferVisible--
+			return false
+		}
+		if !e.Visible() {
+			return false
+		}
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// SnapshotCount reports how many snapshots have been taken, a proxy for the
+// accessibility-API load of an exploration or an agent run.
+func (d *Desktop) SnapshotCount() int { return d.snapshots }
+
+// Click dispatches a primitive click on e: default pattern behaviour first
+// (toggle flip, selection-item select), then the registered click handlers.
+// This is the single edge type modeled by the UNG (paper §3.2: edges denote
+// "click" interaction).
+func (d *Desktop) Click(e *Element) error {
+	if e == nil {
+		return ErrNoHit
+	}
+	if !e.OnScreen() {
+		return fmt.Errorf("%w: %s", ErrNotOnScreen, e)
+	}
+	if !e.Enabled() {
+		return fmt.Errorf("%w: %s", ErrDisabled, e)
+	}
+	d.clock.Advance(CostClick)
+
+	if t, ok := e.Pattern(TogglePattern).(Toggler); ok {
+		next := ToggleOn
+		if t.ToggleState(e) == ToggleOn {
+			next = ToggleOff
+		}
+		if err := t.SetToggleState(e, next); err != nil {
+			return err
+		}
+	}
+	if si, ok := e.Pattern(SelectionItemPattern).(SelectionItem); ok {
+		if err := si.Select(e); err != nil {
+			return err
+		}
+	}
+	if inv, ok := e.Pattern(InvokePattern).(Invoker); ok {
+		if err := inv.Invoke(e); err != nil {
+			return err
+		}
+	}
+	for _, fn := range e.onClick {
+		fn(e)
+	}
+	if e.ctype == EditControl || e.HasPattern(ValuePattern) || e.HasPattern(TextPattern) {
+		d.focus = e
+	}
+	return nil
+}
+
+// ClickAt dispatches a click at virtual screen coordinates: the deepest
+// on-screen, interactive element whose rectangle contains the point receives
+// it. This is the grounding-sensitive primitive the GUI-only baseline uses.
+func (d *Desktop) ClickAt(x, y int) error {
+	e := d.HitTest(x, y)
+	if e == nil {
+		d.clock.Advance(CostClick)
+		return fmt.Errorf("%w: (%d,%d)", ErrNoHit, x, y)
+	}
+	return d.Click(e)
+}
+
+// HitTest returns the deepest on-screen element containing (x, y), favouring
+// interactive controls and later (higher) windows.
+func (d *Desktop) HitTest(x, y int) *Element {
+	var best *Element
+	bestDepth := -1
+	for _, w := range d.windows {
+		if !w.Visible() {
+			continue
+		}
+		depth := 0
+		var walk func(e *Element, depth int)
+		walk = func(e *Element, depth int) {
+			if !e.Visible() || e.deferVisible > 0 {
+				return
+			}
+			if e.Rect().Contains(x, y) && depth >= bestDepth {
+				if e.Type().IsInteractive() || best == nil {
+					best = e
+					bestDepth = depth
+				}
+			}
+			for _, c := range e.Children() {
+				walk(c, depth+1)
+			}
+		}
+		walk(w, depth)
+	}
+	return best
+}
+
+// TypeText sends text to the focused element through its Value pattern.
+func (d *Desktop) TypeText(text string) error {
+	if d.focus == nil {
+		return ErrNoFocus
+	}
+	d.clock.Advance(time.Duration(len(text)) * CostPerChar)
+	v, ok := d.focus.Pattern(ValuePattern).(Valuer)
+	if !ok {
+		return fmt.Errorf("%w: %s lacks Value", ErrNoPattern, d.focus)
+	}
+	if v.IsReadOnly(d.focus) {
+		return fmt.Errorf("uia: %s is read-only", d.focus)
+	}
+	return v.SetValue(d.focus, text)
+}
+
+// PressKey dispatches a key combination ("ENTER", "ESC", "CTRL+B", ...). The
+// application's registered handler runs; unregistered combinations are an
+// error so that agents receive feedback rather than silent no-ops.
+func (d *Desktop) PressKey(combo string) error {
+	d.clock.Advance(CostKeyComb)
+	fn, ok := d.keyHandlers[normalizeKey(combo)]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownKey, combo)
+	}
+	return fn(d)
+}
+
+// Drag simulates a press-move-release gesture from (x0,y0) to (x1,y1). If
+// the press lands on a scrollbar thumb, the owning scrollbar's position is
+// adjusted proportionally; otherwise the drag is a no-op that still costs
+// time — exactly the fragile composite interaction the paper's Task 2
+// illustrates.
+func (d *Desktop) Drag(x0, y0, x1, y1 int) error {
+	d.clock.Advance(CostDragStep)
+	src := d.HitTest(x0, y0)
+	if src == nil {
+		return fmt.Errorf("%w: (%d,%d)", ErrNoHit, x0, y0)
+	}
+	// Find the nearest ancestor (or self) with a Scroll pattern.
+	var sb *Element
+	for cur := src; cur != nil; cur = cur.Parent() {
+		if cur.HasPattern(ScrollPattern) {
+			sb = cur
+			break
+		}
+	}
+	if sb == nil {
+		return nil // dropped on nothing scrollable; gesture wasted
+	}
+	sc := sb.Pattern(ScrollPattern).(Scroller)
+	r := sb.Rect()
+	h, v := sc.ScrollPercent(sb)
+	if r.H >= r.W { // vertical scrollbar
+		if r.H > 0 {
+			dv := float64(y1-y0) / float64(r.H) * 100
+			v = clampPercent(v + dv)
+		}
+	} else if r.W > 0 {
+		dh := float64(x1-x0) / float64(r.W) * 100
+		h = clampPercent(h + dh)
+	}
+	return sc.SetScrollPercent(sb, h, v)
+}
+
+func clampPercent(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}
+
+func normalizeKey(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' {
+			continue
+		}
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

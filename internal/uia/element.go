@@ -1,0 +1,341 @@
+package uia
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rect is a bounding rectangle in virtual screen coordinates.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Contains reports whether the point (x, y) lies inside the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() (x, y int) { return r.X + r.W/2, r.Y + r.H/2 }
+
+// Empty reports whether the rectangle has zero area.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Element is a node in an accessibility tree: one UI control. Elements are
+// mutable; applications wire behaviour in with pattern providers and click
+// handlers, and mutate the tree as interaction proceeds (menus opening, tabs
+// switching, dialogs appearing).
+//
+// The zero value is not useful; create elements with NewElement.
+type Element struct {
+	automationID string
+	name         string
+	ctype        ControlType
+	desc         string
+
+	enabled   bool
+	visible   bool
+	largeEnum bool // large enumeration (font list, symbol grid): pruned from core topologies
+	rect      Rect
+
+	parent   *Element
+	children []*Element
+
+	patterns map[PatternID]any
+	onClick  []func(e *Element)
+
+	// deferVisible implements lazy loading: while > 0, the element is
+	// excluded from snapshots and each snapshot observation decrements it.
+	deferVisible int
+
+	idCache string // synthesized control ID; invalidated on renames
+}
+
+// NewElement creates a visible, enabled element.
+func NewElement(automationID, name string, t ControlType) *Element {
+	return &Element{
+		automationID: automationID,
+		name:         name,
+		ctype:        t,
+		enabled:      true,
+		visible:      true,
+		patterns:     make(map[PatternID]any),
+	}
+}
+
+// AutomationID returns the (not necessarily unique) automation identifier.
+func (e *Element) AutomationID() string { return e.automationID }
+
+// Name returns the control name.
+func (e *Element) Name() string { return e.name }
+
+// SetName renames the control. Renames happen in real applications (the
+// paper's example: Word's "Next" button becoming "Go To") and invalidate the
+// synthesized identifiers of the whole subtree.
+func (e *Element) SetName(name string) {
+	if e.name == name {
+		return
+	}
+	e.name = name
+	e.invalidateIDs()
+}
+
+// Type returns the control type.
+func (e *Element) Type() ControlType { return e.ctype }
+
+// Description returns the full_description accessibility property.
+func (e *Element) Description() string { return e.desc }
+
+// SetDescription sets the full_description accessibility property.
+func (e *Element) SetDescription(d string) { e.desc = d }
+
+// Enabled reports whether the control accepts interaction.
+func (e *Element) Enabled() bool { return e.enabled }
+
+// SetEnabled enables or disables the control.
+func (e *Element) SetEnabled(v bool) { e.enabled = v }
+
+// Visible reports the element's own visibility flag. Use OnScreen to check
+// whether the element is actually exposed (all ancestors visible too).
+func (e *Element) Visible() bool { return e.visible }
+
+// SetVisible sets the element's own visibility flag.
+func (e *Element) SetVisible(v bool) { e.visible = v }
+
+// LargeEnum reports whether this element roots a large enumeration (such as
+// a font list) that core-topology extraction prunes (paper §3.3).
+func (e *Element) LargeEnum() bool { return e.largeEnum }
+
+// MarkLargeEnum flags the element as a large enumeration root.
+func (e *Element) MarkLargeEnum() { e.largeEnum = true }
+
+// Rect returns the element's bounding rectangle.
+func (e *Element) Rect() Rect { return e.rect }
+
+// SetRect sets the element's bounding rectangle.
+func (e *Element) SetRect(r Rect) { e.rect = r }
+
+// Parent returns the parent element, or nil at a tree root.
+func (e *Element) Parent() *Element { return e.parent }
+
+// Children returns the child slice. Callers must not mutate it.
+func (e *Element) Children() []*Element { return e.children }
+
+// AddChild appends child (and its subtree) under e.
+func (e *Element) AddChild(child *Element) {
+	if child.parent != nil {
+		child.parent.RemoveChild(child)
+	}
+	child.parent = e
+	child.invalidateIDs()
+	e.children = append(e.children, child)
+}
+
+// RemoveChild detaches child from e. It is a no-op if child is not a child
+// of e.
+func (e *Element) RemoveChild(child *Element) {
+	for i, c := range e.children {
+		if c == child {
+			e.children = append(e.children[:i], e.children[i+1:]...)
+			child.parent = nil
+			child.invalidateIDs()
+			return
+		}
+	}
+}
+
+// Root walks to the top of the tree containing e (usually a Window element).
+func (e *Element) Root() *Element {
+	r := e
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// Ancestors returns the chain from e's parent up to the root.
+func (e *Element) Ancestors() []*Element {
+	var out []*Element
+	for p := e.parent; p != nil; p = p.parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsDescendantOf reports whether e is anc or lies beneath it.
+func (e *Element) IsDescendantOf(anc *Element) bool {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// OnScreen reports whether the element is currently exposed in the
+// accessibility tree: it and all its ancestors are visible and it is not
+// still lazily loading.
+func (e *Element) OnScreen() bool {
+	if e.deferVisible > 0 {
+		return false
+	}
+	for cur := e; cur != nil; cur = cur.parent {
+		if !cur.visible {
+			return false
+		}
+	}
+	return true
+}
+
+// DeferVisibility hides the element from the next n snapshots, simulating a
+// control that the application populates asynchronously (paper §3.4,
+// "failure retry mechanism for GUI controls that may load slowly").
+func (e *Element) DeferVisibility(n int) { e.deferVisible = n }
+
+// SetPattern attaches a control-pattern provider. The provider must satisfy
+// the behaviour interface corresponding to the pattern (Toggler for
+// TogglePattern, Scroller for ScrollPattern, ...), but the framework stores
+// it untyped so applications can attach marker-only patterns too.
+func (e *Element) SetPattern(id PatternID, provider any) {
+	e.patterns[id] = provider
+}
+
+// Pattern returns the provider attached for id, or nil.
+func (e *Element) Pattern(id PatternID) any { return e.patterns[id] }
+
+// HasPattern reports whether the pattern is supported.
+func (e *Element) HasPattern(id PatternID) bool {
+	_, ok := e.patterns[id]
+	return ok
+}
+
+// PatternIDs returns the identifiers of all supported patterns, unordered.
+func (e *Element) PatternIDs() []PatternID {
+	out := make([]PatternID, 0, len(e.patterns))
+	for id := range e.patterns {
+		out = append(out, id)
+	}
+	return out
+}
+
+// OnClick registers a handler run when the element is clicked. Handlers run
+// in registration order after pattern-default behaviour (toggle flip,
+// selection) has been applied.
+func (e *Element) OnClick(fn func(e *Element)) {
+	e.onClick = append(e.onClick, fn)
+}
+
+// Walk visits e and every descendant in depth-first, document order. The
+// visit function returns false to prune the subtree below the visited node.
+func (e *Element) Walk(visit func(*Element) bool) {
+	if !visit(e) {
+		return
+	}
+	for _, c := range e.children {
+		c.Walk(visit)
+	}
+}
+
+// Find returns the first descendant (including e) for which match returns
+// true, or nil.
+func (e *Element) Find(match func(*Element) bool) *Element {
+	var found *Element
+	e.Walk(func(n *Element) bool {
+		if found != nil {
+			return false
+		}
+		if match(n) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindByName returns the first on-screen descendant with the given name, or
+// nil.
+func (e *Element) FindByName(name string) *Element {
+	return e.Find(func(n *Element) bool {
+		return n.name == name && n.OnScreen()
+	})
+}
+
+// FindByAutomationID returns the first descendant with the given automation
+// id, or nil.
+func (e *Element) FindByAutomationID(id string) *Element {
+	return e.Find(func(n *Element) bool { return n.automationID == id })
+}
+
+// Count returns the number of elements in the subtree rooted at e.
+func (e *Element) Count() int {
+	n := 0
+	e.Walk(func(*Element) bool { n++; return true })
+	return n
+}
+
+// Depth returns the maximum depth of the subtree rooted at e (a leaf has
+// depth 1).
+func (e *Element) Depth() int {
+	max := 0
+	for _, c := range e.children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// primaryID returns the leading component of the synthesized control ID:
+// the automation id when present, otherwise the name, otherwise "[Unnamed]"
+// (paper §4.1).
+func (e *Element) primaryID() string {
+	switch {
+	case e.automationID != "":
+		return e.automationID
+	case e.name != "":
+		return e.name
+	default:
+		return "[Unnamed]"
+	}
+}
+
+// ControlID synthesizes the XPath-like identifier used to label the element
+// as a UNG node (paper §4.1):
+//
+//	primary_id|control_type|ancestor_path
+//
+// where ancestor_path is the slash-delimited sequence of ancestor primary
+// ids from the root down. Index-based addressing is deliberately avoided:
+// dynamic menus shift indices unpredictably.
+func (e *Element) ControlID() string {
+	if e.idCache != "" {
+		return e.idCache
+	}
+	anc := e.Ancestors()
+	var b strings.Builder
+	b.WriteString(e.primaryID())
+	b.WriteByte('|')
+	b.WriteString(e.ctype.String())
+	b.WriteByte('|')
+	for i := len(anc) - 1; i >= 0; i-- {
+		b.WriteString(anc[i].primaryID())
+		if i > 0 {
+			b.WriteByte('/')
+		}
+	}
+	e.idCache = b.String()
+	return e.idCache
+}
+
+func (e *Element) invalidateIDs() {
+	e.Walk(func(n *Element) bool {
+		n.idCache = ""
+		return true
+	})
+}
+
+// String renders a short human-readable description for diagnostics.
+func (e *Element) String() string {
+	return fmt.Sprintf("%s(%s)", e.name, e.ctype)
+}

@@ -1,0 +1,231 @@
+package uia
+
+import "fmt"
+
+// PatternID identifies a control pattern. The set mirrors the 34 control
+// patterns defined by Windows UI Automation (paper §2.2, Insight #3).
+type PatternID int
+
+// The 34 UIA control patterns.
+const (
+	InvokePattern PatternID = iota
+	SelectionPattern
+	ValuePattern
+	RangeValuePattern
+	ScrollPattern
+	ScrollItemPattern
+	ExpandCollapsePattern
+	GridPattern
+	GridItemPattern
+	MultipleViewPattern
+	WindowPattern
+	SelectionItemPattern
+	DockPattern
+	TablePattern
+	TableItemPattern
+	TextPattern
+	TogglePattern
+	TransformPattern
+	ItemContainerPattern
+	LegacyIAccessiblePattern
+	SynchronizedInputPattern
+	VirtualizedItemPattern
+	AnnotationPattern
+	DragPattern
+	DropTargetPattern
+	ObjectModelPattern
+	SpreadsheetPattern
+	SpreadsheetItemPattern
+	StylesPattern
+	TextChildPattern
+	TextEditPattern
+	TextPattern2
+	TransformPattern2
+	CustomNavigationPattern
+
+	numPatterns // sentinel; keep last
+)
+
+// NumPatterns is the number of distinct control patterns, matching UIA's 34.
+const NumPatterns = int(numPatterns)
+
+var patternNames = [...]string{
+	InvokePattern:            "Invoke",
+	SelectionPattern:         "Selection",
+	ValuePattern:             "Value",
+	RangeValuePattern:        "RangeValue",
+	ScrollPattern:            "Scroll",
+	ScrollItemPattern:        "ScrollItem",
+	ExpandCollapsePattern:    "ExpandCollapse",
+	GridPattern:              "Grid",
+	GridItemPattern:          "GridItem",
+	MultipleViewPattern:      "MultipleView",
+	WindowPattern:            "Window",
+	SelectionItemPattern:     "SelectionItem",
+	DockPattern:              "Dock",
+	TablePattern:             "Table",
+	TableItemPattern:         "TableItem",
+	TextPattern:              "Text",
+	TogglePattern:            "Toggle",
+	TransformPattern:         "Transform",
+	ItemContainerPattern:     "ItemContainer",
+	LegacyIAccessiblePattern: "LegacyIAccessible",
+	SynchronizedInputPattern: "SynchronizedInput",
+	VirtualizedItemPattern:   "VirtualizedItem",
+	AnnotationPattern:        "Annotation",
+	DragPattern:              "Drag",
+	DropTargetPattern:        "DropTarget",
+	ObjectModelPattern:       "ObjectModel",
+	SpreadsheetPattern:       "Spreadsheet",
+	SpreadsheetItemPattern:   "SpreadsheetItem",
+	StylesPattern:            "Styles",
+	TextChildPattern:         "TextChild",
+	TextEditPattern:          "TextEdit",
+	TextPattern2:             "Text2",
+	TransformPattern2:        "Transform2",
+	CustomNavigationPattern:  "CustomNavigation",
+}
+
+// String returns the UIA-style pattern name (e.g. "ExpandCollapse").
+func (p PatternID) String() string {
+	if p < 0 || int(p) >= len(patternNames) {
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+	return patternNames[p]
+}
+
+// ToggleState is the tri-state of a Toggle pattern.
+type ToggleState int
+
+// Toggle states, matching UIA's ToggleState enumeration.
+const (
+	ToggleOff ToggleState = iota
+	ToggleOn
+	ToggleIndeterminate
+)
+
+// String returns "off", "on", or "indeterminate".
+func (s ToggleState) String() string {
+	switch s {
+	case ToggleOff:
+		return "off"
+	case ToggleOn:
+		return "on"
+	default:
+		return "indeterminate"
+	}
+}
+
+// ExpandState is the state of an ExpandCollapse pattern.
+type ExpandState int
+
+// Expand/collapse states.
+const (
+	Collapsed ExpandState = iota
+	Expanded
+	PartiallyExpanded
+	LeafNode
+)
+
+// String returns a lower-case state name.
+func (s ExpandState) String() string {
+	switch s {
+	case Collapsed:
+		return "collapsed"
+	case Expanded:
+		return "expanded"
+	case PartiallyExpanded:
+		return "partially-expanded"
+	default:
+		return "leaf"
+	}
+}
+
+// Invoker is the behaviour behind the Invoke pattern: a single primitive
+// activation, the effect of a click.
+type Invoker interface {
+	Invoke(e *Element) error
+}
+
+// InvokeFunc adapts a function to the Invoker interface.
+type InvokeFunc func(e *Element) error
+
+// Invoke calls f(e).
+func (f InvokeFunc) Invoke(e *Element) error { return f(e) }
+
+// Toggler is the behaviour behind the Toggle pattern.
+type Toggler interface {
+	ToggleState(e *Element) ToggleState
+	SetToggleState(e *Element, s ToggleState) error
+}
+
+// ExpandCollapser is the behaviour behind the ExpandCollapse pattern.
+type ExpandCollapser interface {
+	ExpandState(e *Element) ExpandState
+	Expand(e *Element) error
+	Collapse(e *Element) error
+}
+
+// Scroller is the behaviour behind the Scroll pattern. Percentages are in
+// [0,100]; a NoScroll (-1) axis is not scrollable.
+type Scroller interface {
+	ScrollPercent(e *Element) (h, v float64)
+	SetScrollPercent(e *Element, h, v float64) error
+	// ScrollStep nudges the viewport by one increment in the given
+	// direction; it is the primitive the imperative drag loop is built on.
+	ScrollStep(e *Element, dh, dv float64) error
+}
+
+// NoScroll marks an axis that cannot scroll.
+const NoScroll = -1.0
+
+// Texter is the behaviour behind the Text pattern: structured access to a
+// control's textual content and line/paragraph selection.
+type Texter interface {
+	Text(e *Element) string
+	LineCount(e *Element) int
+	SelectLines(e *Element, start, end int) error
+	ParagraphCount(e *Element) int
+	SelectParagraphs(e *Element, start, end int) error
+	Selection(e *Element) (start, end int, ok bool)
+}
+
+// Valuer is the behaviour behind the Value pattern.
+type Valuer interface {
+	Value(e *Element) string
+	SetValue(e *Element, v string) error
+	IsReadOnly(e *Element) bool
+}
+
+// RangeValuer is the behaviour behind the RangeValue pattern.
+type RangeValuer interface {
+	RangeValue(e *Element) float64
+	SetRangeValue(e *Element, v float64) error
+	Range(e *Element) (min, max float64)
+}
+
+// SelectionItem is the behaviour behind the SelectionItem pattern.
+type SelectionItem interface {
+	IsSelected(e *Element) bool
+	Select(e *Element) error
+	AddToSelection(e *Element) error
+	RemoveFromSelection(e *Element) error
+}
+
+// SelectionContainer is the behaviour behind the Selection pattern.
+type SelectionContainer interface {
+	SelectedItems(e *Element) []*Element
+	CanSelectMultiple(e *Element) bool
+}
+
+// WindowControlPattern is the behaviour behind the Window pattern.
+type WindowControlPattern interface {
+	CloseWindow(e *Element) error
+}
+
+// GridProvider is the behaviour behind the Grid pattern.
+type GridProvider interface {
+	RowCount(e *Element) int
+	ColumnCount(e *Element) int
+	GetItem(e *Element, row, col int) *Element
+}

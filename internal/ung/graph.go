@@ -1,0 +1,209 @@
+// Package ung builds and represents the UI Navigation Graph (UNG): the
+// directed graph whose nodes are UI controls and whose edges capture
+// click-induced reachability (paper §3.2). The graph is produced offline by
+// a DFS GUI ripper with differential capture (paper §4.1) and consumed by
+// the forest transformation (internal/forest).
+package ung
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/uia"
+)
+
+// RootID is the identifier of the virtual root node that anchors controls
+// visible on the initial screen.
+const RootID = "[ROOT]"
+
+// Node is one control in the UNG.
+type Node struct {
+	ID   string // synthesized control identifier (paper §4.1)
+	Name string
+	Type uia.ControlType
+	Desc string
+
+	// LargeEnum marks controls inside large enumerations (font lists,
+	// symbol grids); core-topology extraction prunes them.
+	LargeEnum bool
+	// Context is the application context under which the control was
+	// discovered ("" for the base context).
+	Context string
+
+	Out []string // click targets revealed by this control, in discovery order
+	In  []string // reverse edges, in insertion order
+}
+
+// Graph is the UI Navigation Graph.
+type Graph struct {
+	App   string
+	Nodes map[string]*Node
+	Order []string // node IDs in discovery order (Root first)
+}
+
+// NewGraph creates a graph containing only the virtual root.
+func NewGraph(app string) *Graph {
+	g := &Graph{App: app, Nodes: make(map[string]*Node)}
+	g.Order = append(g.Order, RootID)
+	g.Nodes[RootID] = &Node{ID: RootID, Name: app, Type: uia.WindowControl}
+	return g
+}
+
+// Root returns the virtual root node.
+func (g *Graph) Root() *Node { return g.Nodes[RootID] }
+
+// Ensure returns the node for id, creating it from the element on first use.
+func (g *Graph) Ensure(id string, e *uia.Element, context string) *Node {
+	if n, ok := g.Nodes[id]; ok {
+		return n
+	}
+	n := &Node{
+		ID:      id,
+		Name:    e.Name(),
+		Type:    e.Type(),
+		Desc:    e.Description(),
+		Context: context,
+	}
+	for cur := e; cur != nil; cur = cur.Parent() {
+		if cur.LargeEnum() {
+			n.LargeEnum = true
+			break
+		}
+	}
+	g.Nodes[id] = n
+	g.Order = append(g.Order, id)
+	return n
+}
+
+// AddEdge inserts the edge from → to once; duplicates are ignored.
+func (g *Graph) AddEdge(from, to string) {
+	f, ok := g.Nodes[from]
+	if !ok {
+		return
+	}
+	t, ok := g.Nodes[to]
+	if !ok {
+		return
+	}
+	for _, o := range f.Out {
+		if o == to {
+			return
+		}
+	}
+	f.Out = append(f.Out, to)
+	t.In = append(t.In, from)
+}
+
+// NodeCount returns the number of nodes including the virtual root.
+func (g *Graph) NodeCount() int { return len(g.Nodes) }
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, node := range g.Nodes {
+		n += len(node.Out)
+	}
+	return n
+}
+
+// Leaves returns the IDs of functional nodes: nodes with no outgoing edges.
+// Navigation (non-leaf) nodes reveal other controls when clicked.
+func (g *Graph) Leaves() []string {
+	var out []string
+	for _, id := range g.Order {
+		if len(g.Nodes[id].Out) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MergeNodes returns the IDs of nodes with more than one incoming edge.
+func (g *Graph) MergeNodes() []string {
+	var out []string
+	for _, id := range g.Order {
+		if len(g.Nodes[id].In) > 1 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MaxDepth returns the length of the longest simple path from the root
+// following BFS layering (a lower bound on true navigation depth, adequate
+// for reporting).
+func (g *Graph) MaxDepth() int {
+	depth := map[string]int{RootID: 0}
+	queue := []string{RootID}
+	max := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.Nodes[cur].Out {
+			if _, seen := depth[next]; seen {
+				continue
+			}
+			depth[next] = depth[cur] + 1
+			if depth[next] > max {
+				max = depth[next]
+			}
+			queue = append(queue, next)
+		}
+	}
+	return max
+}
+
+// Reachable returns the set of node IDs reachable from the root.
+func (g *Graph) Reachable() map[string]bool {
+	seen := map[string]bool{RootID: true}
+	stack := []string{RootID}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.Nodes[cur].Out {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// Validate checks structural invariants: edge endpoints exist, In/Out are
+// consistent, and every node is reachable from the root.
+func (g *Graph) Validate() error {
+	for id, n := range g.Nodes {
+		if n.ID != id {
+			return fmt.Errorf("ung: node key %q != node id %q", id, n.ID)
+		}
+		for _, o := range n.Out {
+			t, ok := g.Nodes[o]
+			if !ok {
+				return fmt.Errorf("ung: edge %q → missing node %q", id, o)
+			}
+			found := false
+			for _, in := range t.In {
+				if in == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("ung: edge %q → %q missing reverse entry", id, o)
+			}
+		}
+	}
+	reach := g.Reachable()
+	if len(reach) != len(g.Nodes) {
+		var missing []string
+		for id := range g.Nodes {
+			if !reach[id] {
+				missing = append(missing, id)
+			}
+		}
+		sort.Strings(missing)
+		return fmt.Errorf("ung: %d nodes unreachable from root (first: %.3q)", len(missing), missing)
+	}
+	return nil
+}

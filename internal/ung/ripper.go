@@ -1,0 +1,289 @@
+package ung
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appkit"
+	"repro/internal/uia"
+)
+
+// Config controls GUI ripping.
+type Config struct {
+	// MaxDepth caps the click-path length explored (default 10).
+	MaxDepth int
+	// MaxNodes aborts exploration when the graph grows beyond this size
+	// (default 100000), a safety valve against modeling runaways.
+	MaxNodes int
+}
+
+func (c *Config) fill() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 10
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 100000
+	}
+}
+
+// Stats reports the cost of the offline modeling phase (paper §5.2).
+type Stats struct {
+	Nodes     int
+	Edges     int
+	Explored  int // nodes actually clicked
+	Skipped   int // nodes skipped (non-interactive, disabled, or missing on replay)
+	Blocked   int // nodes on the access blocklist
+	Clicks    int
+	Snapshots int
+	Contexts  int
+	// SimulatedTime is the wall-clock cost on the simulated desktop; the
+	// paper reports < 3 hours of automated modeling per application.
+	SimulatedTime time.Duration
+}
+
+// Rip builds the UNG of an application by DFS differential capture (paper
+// §4.1): capture the accessibility tree, activate a candidate control,
+// capture again; newly revealed controls define navigation edges. New
+// windows are detected by desktop window listeners, the access blocklist is
+// honored, and every registered application context is explored and merged
+// into one topology.
+func Rip(app *appkit.App, cfg Config) (*Graph, Stats, error) {
+	cfg.fill()
+	g := NewGraph(app.Name)
+	var st Stats
+	start := app.Desk.Clock().Now()
+
+	// Window listeners confirm popup windows appear; differential capture
+	// picks their content up from full-desktop snapshots.
+	opened := 0
+	app.Desk.Listen(func(ev uia.WindowEvent) {
+		if ev.Opened {
+			opened++
+		}
+	})
+
+	type frame struct {
+		id   string
+		path []string
+	}
+	expanded := make(map[string]bool)
+	queued := make(map[string]bool)
+	var stack []frame
+
+	push := func(id string, path []string) {
+		if queued[id] || expanded[id] {
+			return
+		}
+		queued[id] = true
+		stack = append(stack, frame{id: id, path: path})
+	}
+
+	contexts := []string{""}
+	for _, c := range app.Contexts() {
+		contexts = append(contexts, c.Name)
+	}
+	st.Contexts = len(contexts)
+
+	for _, ctx := range contexts {
+		restore(app, ctx)
+		snap := capture(app, &st)
+
+		// Root-node initialization (paper §4.1): initial-screen controls
+		// attach beneath their visible UI ancestors, anchored at the
+		// virtual root; the active tab's content panel is re-anchored
+		// under the active TabItem so otherwise unscoped controls are
+		// indexable beneath it.
+		tabItem, tabPanel := app.ActiveTabInfo()
+		inSnap := make(map[*uia.Element]bool, len(snap.order))
+		for _, e := range snap.order {
+			inSnap[e] = true
+		}
+		for _, e := range snap.order {
+			id := e.ControlID()
+			_, existed := g.Nodes[id]
+			g.Ensure(id, e, ctx)
+			parent := RootID
+			if e == tabPanel && tabItem != nil {
+				parent = tabItem.ControlID()
+			} else if anc := nearestIn(e, inSnap); anc != nil {
+				parent = anc.ControlID()
+			}
+			g.AddEdge(parent, id)
+			if !existed {
+				push(id, nil)
+			}
+		}
+
+		for len(stack) > 0 {
+			if g.NodeCount() > cfg.MaxNodes {
+				return g, st, fmt.Errorf("ung: node limit %d exceeded", cfg.MaxNodes)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if expanded[f.id] {
+				continue
+			}
+			expanded[f.id] = true
+
+			node := g.Nodes[f.id]
+			if node == nil {
+				continue
+			}
+			if !clickable(node.Type) {
+				st.Skipped++
+				continue
+			}
+
+			// Re-establish the discovery state: soft reset, then replay
+			// the click path.
+			restore(app, ctx)
+			if !replay(app, f.path, &st) {
+				st.Skipped++
+				continue
+			}
+			before := capture(app, &st)
+			el := before.byID[f.id]
+			if el == nil || !el.OnScreen() || !el.Enabled() {
+				st.Skipped++
+				continue
+			}
+			if app.Blocked(el) {
+				st.Blocked++
+				continue
+			}
+			if err := app.Desk.Click(el); err != nil {
+				st.Skipped++
+				continue
+			}
+			st.Clicks++
+			st.Explored++
+			after := capture(app, &st)
+
+			// Newly revealed controls attach beneath their nearest
+			// newly-revealed UI ancestor; top-level reveals attach to
+			// the clicked control. This preserves structure inside
+			// popups (a shared flyout stays one subtree) while edges
+			// still denote click-induced reachability.
+			fresh := make(map[*uia.Element]bool)
+			for _, e := range after.order {
+				id := e.ControlID()
+				if id == f.id {
+					continue
+				}
+				if _, present := before.byID[id]; present {
+					continue
+				}
+				fresh[e] = true
+			}
+			for _, e := range after.order {
+				if !fresh[e] {
+					continue
+				}
+				id := e.ControlID()
+				_, existed := g.Nodes[id]
+				g.Ensure(id, e, ctx)
+				parent := f.id
+				if anc := nearestIn(e, fresh); anc != nil {
+					parent = anc.ControlID()
+				}
+				g.AddEdge(parent, id)
+				if !existed && len(f.path)+1 < cfg.MaxDepth {
+					next := make([]string, len(f.path)+1)
+					copy(next, f.path)
+					next[len(f.path)] = f.id
+					push(id, next)
+				}
+			}
+		}
+	}
+
+	restore(app, "")
+	st.Nodes = g.NodeCount()
+	st.Edges = g.EdgeCount()
+	st.SimulatedTime = app.Desk.Clock().Now() - start
+	return g, st, nil
+}
+
+// nearestIn walks up e's UI ancestors and returns the first one present in
+// the set (window roots excluded), or nil.
+func nearestIn(e *uia.Element, set map[*uia.Element]bool) *uia.Element {
+	for cur := e.Parent(); cur != nil; cur = cur.Parent() {
+		if cur.Parent() == nil {
+			return nil // window root: not a modeled control
+		}
+		if set[cur] {
+			return cur
+		}
+	}
+	return nil
+}
+
+// snapshotIndex is one differential-capture frame.
+type snapshotIndex struct {
+	order []*uia.Element
+	byID  map[string]*uia.Element
+}
+
+func capture(app *appkit.App, st *Stats) snapshotIndex {
+	st.Snapshots++
+	els := app.Desk.Snapshot()
+	idx := snapshotIndex{byID: make(map[string]*uia.Element, len(els))}
+	for _, e := range els {
+		// The desktop's window roots are containers, not controls to model.
+		if e.Parent() == nil {
+			continue
+		}
+		id := e.ControlID()
+		if _, dup := idx.byID[id]; dup {
+			continue // duplicate synthesized ID: first occurrence wins
+		}
+		idx.byID[id] = e
+		idx.order = append(idx.order, e)
+	}
+	return idx
+}
+
+func restore(app *appkit.App, ctx string) {
+	app.SoftReset()
+	if ctx != "" {
+		_ = app.EnterContext(ctx)
+	}
+}
+
+// replay re-executes the click path; it reports false if any step's control
+// cannot be resolved in the current state.
+func replay(app *appkit.App, path []string, st *Stats) bool {
+	for _, id := range path {
+		snap := capture(app, st)
+		el := snap.byID[id]
+		if el == nil || !el.OnScreen() || !el.Enabled() {
+			return false
+		}
+		if err := app.Desk.Click(el); err != nil {
+			return false
+		}
+		st.Clicks++
+	}
+	return true
+}
+
+// clickable reports whether the ripper should attempt to activate controls
+// of this type. Containers and purely informational controls are modeled as
+// nodes but never clicked; scroll machinery is excluded because dragging is
+// not a click edge (paper §3.2 models click-induced reachability only).
+func clickable(t uia.ControlType) bool {
+	if !t.IsInteractive() {
+		return false
+	}
+	switch t {
+	case uia.WindowControl, uia.PaneControl, uia.GroupControl,
+		uia.ListControl, uia.MenuControl, uia.MenuBarControl,
+		uia.ToolBarControl, uia.TreeControl, uia.TabControl,
+		uia.DataGridControl, uia.TableControl, uia.HeaderItemControl,
+		uia.ScrollBarControl, uia.ThumbControl, uia.SliderControl,
+		uia.SpinnerControl, uia.DocumentControl, uia.CalendarControl,
+		uia.SemanticZoomControl, uia.AppBarControl:
+		return false
+	}
+	return true
+}

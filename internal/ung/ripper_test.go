@@ -1,0 +1,279 @@
+package ung
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appkit"
+	"repro/internal/office/excel"
+	"repro/internal/office/slides"
+	"repro/internal/office/word"
+)
+
+// demoApp builds a small application with every structural feature the
+// ripper must handle: tabs, nested menus, a shared popup (merge nodes), a
+// dialog, a ribbon-collapse cycle, a blocklisted control, and a context tab.
+func demoApp() *appkit.App {
+	a := appkit.New("Demo")
+	picker := a.ColorPicker("clr", "Colors", func(*appkit.App, string) {})
+
+	home := a.Tab("tabHome", "Home")
+	font := home.Group("grpFont", "Font")
+	font.ToggleButton("btnBold", "Bold", func(*appkit.App) bool { return false }, func(*appkit.App, bool) {})
+	font.MenuButton("btnFontColor", "Font Color", picker, func(*appkit.App) any { return "font" })
+	font.MenuButton("btnHighlight", "Highlight", picker, func(*appkit.App) any { return "hl" })
+
+	ins := a.Tab("tabInsert", "Insert")
+	dlg := a.NewDialog("dlgTable", "Insert Table")
+	dlg.Panel().Spinner("spnRows", "Rows", 1, 10, 2, nil)
+	dlg.AddOKCancel(nil)
+	ins.Group("grpTables", "Tables").DialogButton("btnTable", "Table", dlg, nil)
+
+	ext := ins.Group("grpExt", "External").Button("btnAccount", "Account", nil)
+	a.Block(ext.ControlID())
+
+	a.RegisterContext(appkit.Context{Name: "thing-selected"})
+	ct := a.ContextTab("tabThing", "Thing Format", "thing-selected")
+	ct.Group("grpThing", "Thing").Button("btnThingBorder", "Thing Border", nil)
+
+	a.AddRibbonCollapse()
+	a.Layout()
+	return a
+}
+
+func ripDemo(t *testing.T) (*Graph, Stats) {
+	t.Helper()
+	g, st, err := Rip(demoApp(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, st
+}
+
+func TestRipDiscoversTabContent(t *testing.T) {
+	g, _ := ripDemo(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Home content hangs beneath the active tab item (root init rule),
+	// through its UI containers: tabHome → panel → group → Bold.
+	var bold *Node
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "btnBold|") {
+			bold = n
+		}
+	}
+	if bold == nil {
+		t.Fatal("Bold not discovered")
+	}
+	cur := bold
+	foundTab := false
+	for i := 0; i < 10 && cur != nil && len(cur.In) > 0; i++ {
+		cur = g.Nodes[cur.In[0]]
+		if cur != nil && strings.HasPrefix(cur.ID, "tabHome|") {
+			foundTab = true
+			break
+		}
+	}
+	if !foundTab {
+		t.Errorf("Bold does not hang beneath the Home tab item")
+	}
+	// Insert content is revealed by clicking the Insert tab.
+	var spn *Node
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "spnRows|") {
+			spn = n
+		}
+	}
+	if spn == nil {
+		t.Fatal("dialog content not discovered (nested reveal)")
+	}
+}
+
+func TestRipMergeNodes(t *testing.T) {
+	g, _ := ripDemo(t)
+	// The shared picker's body is revealed by both openers: it is the
+	// merge node, and its internal hierarchy (panes → cells) is preserved
+	// beneath it rather than flattened under each opener.
+	var body, blue *Node
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "clrBody|") {
+			body = n
+		}
+		if n.Name == "Blue" && strings.Contains(n.ID, "clrStd") {
+			blue = n
+		}
+	}
+	if body == nil || blue == nil {
+		t.Fatal("picker body or Blue cell not discovered")
+	}
+	if len(body.In) < 2 {
+		t.Fatalf("picker body in-degree = %d, want ≥ 2 (merge node)", len(body.In))
+	}
+	if len(blue.In) != 1 || !strings.Contains(blue.In[0], "clrStd") {
+		t.Fatalf("Blue should hang beneath the Standard Colors pane, in = %v", blue.In)
+	}
+	if len(g.MergeNodes()) == 0 {
+		t.Fatal("no merge nodes found")
+	}
+}
+
+func TestRipCycle(t *testing.T) {
+	g, _ := ripDemo(t)
+	// Collapse → Pin → Collapse is a 2-cycle.
+	var collapse, pin *Node
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "ribbonCollapse|") {
+			collapse = n
+		}
+		if strings.HasPrefix(n.ID, "ribbonPin|") {
+			pin = n
+		}
+	}
+	if collapse == nil || pin == nil {
+		t.Fatal("ribbon collapse pair not discovered")
+	}
+	if !hasEdge(collapse, pin.ID) || !hasEdge(pin, collapse.ID) {
+		t.Fatal("collapse/pin cycle not captured")
+	}
+}
+
+func TestRipBlocklist(t *testing.T) {
+	g, st := ripDemo(t)
+	if st.Blocked == 0 {
+		t.Error("blocklisted control was not skipped")
+	}
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "btnAccount|") && len(n.Out) > 0 {
+			t.Error("blocklisted control has out-edges (it was clicked)")
+		}
+	}
+}
+
+func TestRipContexts(t *testing.T) {
+	g, st := ripDemo(t)
+	if st.Contexts != 2 {
+		t.Fatalf("contexts = %d, want 2", st.Contexts)
+	}
+	var thing *Node
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "btnThingBorder|") {
+			thing = n
+		}
+	}
+	if thing == nil {
+		t.Fatal("context-tab content not discovered")
+	}
+	if thing.Context != "thing-selected" {
+		t.Errorf("context = %q", thing.Context)
+	}
+}
+
+func TestRipLeavesAndNavigation(t *testing.T) {
+	g, _ := ripDemo(t)
+	leaves := map[string]bool{}
+	for _, l := range g.Leaves() {
+		leaves[l] = true
+	}
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.ID, "btnBold|") && !leaves[n.ID] {
+			t.Error("Bold (functional) should be a leaf")
+		}
+		if strings.HasPrefix(n.ID, "btnFontColor|") && leaves[n.ID] {
+			t.Error("Font Color (navigation) should not be a leaf")
+		}
+	}
+}
+
+func TestRipDeterministic(t *testing.T) {
+	g1, _ := ripDemo(t)
+	g2, _ := ripDemo(t)
+	if g1.NodeCount() != g2.NodeCount() || g1.EdgeCount() != g2.EdgeCount() {
+		t.Fatalf("rip not deterministic: %d/%d vs %d/%d nodes/edges",
+			g1.NodeCount(), g1.EdgeCount(), g2.NodeCount(), g2.EdgeCount())
+	}
+	for i, id := range g1.Order {
+		if g2.Order[i] != id {
+			t.Fatalf("discovery order diverges at %d: %q vs %q", i, id, g2.Order[i])
+		}
+	}
+}
+
+func TestRipNodeLimit(t *testing.T) {
+	_, _, err := Rip(demoApp(), Config{MaxNodes: 10})
+	if err == nil {
+		t.Fatal("node limit not enforced")
+	}
+}
+
+// Office-scale integration rips; skipped in -short mode.
+
+func TestRipWord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale rip")
+	}
+	g, st, err := Rip(word.New().App, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() < 3000 {
+		t.Errorf("word UNG has %d nodes, want > 3000", g.NodeCount())
+	}
+	if len(g.MergeNodes()) < 2 {
+		t.Errorf("word UNG has %d merge nodes, want ≥ 2 (shared picker + font dialog)", len(g.MergeNodes()))
+	}
+	if d := g.MaxDepth(); d < 8 {
+		t.Errorf("word UNG depth = %d, want ≥ 8 (paper: >10)", d)
+	}
+	t.Logf("word UNG: %d nodes, %d edges, depth %d, %d merge nodes, %d leaves, simulated %s",
+		g.NodeCount(), g.EdgeCount(), g.MaxDepth(), len(g.MergeNodes()),
+		len(g.Leaves()), st.SimulatedTime)
+}
+
+func TestRipExcel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale rip")
+	}
+	g, st, err := Rip(excel.New().App, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() < 3000 {
+		t.Errorf("excel UNG has %d nodes, want > 3000", g.NodeCount())
+	}
+	t.Logf("excel UNG: %d nodes, %d edges, depth %d, %d merge nodes, simulated %s",
+		g.NodeCount(), g.EdgeCount(), g.MaxDepth(), len(g.MergeNodes()), st.SimulatedTime)
+}
+
+func TestRipSlides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale rip")
+	}
+	g, st, err := Rip(slides.New(12).App, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() < 2800 {
+		t.Errorf("slides UNG has %d nodes, want > 2800", g.NodeCount())
+	}
+	t.Logf("slides UNG: %d nodes, %d edges, depth %d, %d merge nodes, simulated %s",
+		g.NodeCount(), g.EdgeCount(), g.MaxDepth(), len(g.MergeNodes()), st.SimulatedTime)
+}
+
+func hasEdge(n *Node, to string) bool {
+	for _, o := range n.Out {
+		if o == to {
+			return true
+		}
+	}
+	return false
+}
