@@ -14,11 +14,13 @@ import (
 
 	"repro/dmi"
 	"repro/internal/agent"
+	"repro/internal/appkit"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/describe"
 	"repro/internal/forest"
 	"repro/internal/llm"
+	"repro/internal/modelstore"
 	"repro/internal/office/excel"
 	"repro/internal/office/slides"
 	"repro/internal/office/word"
@@ -226,6 +228,54 @@ func BenchmarkOffline_RipExcel(b *testing.B) {
 
 func BenchmarkOffline_RipPowerPoint(b *testing.B) {
 	benchRip(b, func() *dmi.App { return slides.New(12).App })
+}
+
+// benchRipParallel is benchRip over the worker-pool ripper: byte-identical
+// graph, wall-clock divided across the pool (compare the ns/op of the
+// matching sequential benchmark above).
+func benchRipParallel(b *testing.B, workers int, build func() *dmi.App) {
+	var g *ung.Graph
+	var st ung.Stats
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, st, err = ung.RipParallel(build, ung.Config{}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NodeCount()), "nodes")
+	b.ReportMetric(float64(g.EdgeCount()), "edges")
+	b.ReportMetric(float64(st.Workers), "workers")
+	b.ReportMetric(st.SimulatedTime.Hours(), "simulated-hours")
+}
+
+func BenchmarkOffline_RipWordParallel4(b *testing.B) {
+	benchRipParallel(b, 4, func() *dmi.App { return word.New().App })
+}
+
+func BenchmarkOffline_RipExcelParallel4(b *testing.B) {
+	benchRipParallel(b, 4, func() *dmi.App { return excel.New().App })
+}
+
+func BenchmarkOffline_RipPowerPointParallel4(b *testing.B) {
+	benchRipParallel(b, 4, func() *dmi.App { return slides.New(12).App })
+}
+
+// BenchmarkOffline_ModelStoreWarm measures the marginal modeling cost of a
+// session once the store is warm: near-zero, the scaling property the
+// modelstore subsystem exists for.
+func BenchmarkOffline_ModelStoreWarm(b *testing.B) {
+	store := modelstore.New()
+	factory := func() *appkit.App { return word.New().App }
+	if _, err := store.Model("Word", factory, modelstore.Options{Workers: 4}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Model("Word", factory, modelstore.Options{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Figure 4 -----------------------------------------------------------------------

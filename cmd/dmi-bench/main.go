@@ -27,12 +27,13 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "print Figure 6")
 	oneshot := flag.Bool("oneshot", false, "print the §5.3 one-shot statistic")
 	tokens := flag.Bool("tokens", false, "print §5.4 token accounting")
+	workers := flag.Int("workers", 0, "rip worker-pool size for the offline phase (0 = auto)")
 	flag.Parse()
 
 	all := !*table3 && !*fig5a && !*fig5b && !*fig6 && !*oneshot && !*tokens
 
 	fmt.Fprintln(os.Stderr, "offline phase: modeling Word, Excel, PowerPoint…")
-	models, err := agent.BuildModels()
+	models, err := agent.BuildModelsParallel(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "modeling failed:", err)
 		os.Exit(1)

@@ -23,10 +23,15 @@
 package dmi
 
 import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
 	"repro/internal/appkit"
 	"repro/internal/core"
 	"repro/internal/describe"
 	"repro/internal/forest"
+	"repro/internal/modelstore"
 	"repro/internal/office/excel"
 	"repro/internal/office/slides"
 	"repro/internal/office/word"
@@ -133,18 +138,73 @@ func FullOptions() DescribeOptions { return describe.FullOptions() }
 // NewModel assigns identifiers over a forest.
 func NewModel(f *Forest) *TopologyModel { return describe.NewModel(f) }
 
+// ModelStore is the concurrency-safe cache of offline builds: it memoizes
+// the rip→transform→identify pipeline with singleflight semantics and, when
+// persistent, JSON graph snapshots reused across runs.
+type ModelStore = modelstore.Store
+
+// ModelOptions configures one offline build in a store.
+type ModelOptions = modelstore.Options
+
+// ModelBuild carries a build's provenance (cache hit, snapshot reuse, rip
+// and transform statistics).
+type ModelBuild = modelstore.Build
+
+// NewModelStore creates an in-memory model store.
+func NewModelStore() *ModelStore { return modelstore.New() }
+
+// NewPersistentModelStore creates a model store that saves and reuses JSON
+// graph snapshots under dir.
+func NewPersistentModelStore(dir string) *ModelStore { return modelstore.NewPersistent(dir) }
+
+// defaultStore backs Model and ModelParallel: one offline build per distinct
+// application structure per process, shared by every session.
+var defaultStore = modelstore.New()
+
+// structuralKey fingerprints an application instance by name plus the
+// synthesized identifiers and names of its complete UI surface: every
+// element of the main window and of every popup template, visible or not.
+// Hidden elements matter — two decks can share an identical initial screen
+// (the same thumbnail viewport) yet differ inside a dialog that enumerates
+// per-slide entries — so the key must cover everything the ripper could
+// ever reveal. Instances with equal keys rip into identical graphs and
+// share one cached model; a false split (equal graphs, different keys)
+// merely costs an extra build, never a wrong model.
+func structuralKey(app *App) string {
+	h := fnv.New64a()
+	hash := func(root *uia.Element) {
+		root.Walk(func(e *uia.Element) bool {
+			io.WriteString(h, e.ControlID())
+			io.WriteString(h, "\x00")
+			io.WriteString(h, e.Name())
+			io.WriteString(h, "\x01")
+			return true
+		})
+	}
+	hash(app.Win)
+	for _, w := range app.AllPopupWindows() {
+		hash(w)
+	}
+	return fmt.Sprintf("%s#%016x", app.Name, h.Sum64())
+}
+
 // Model runs the complete offline phase for an application instance: rip,
-// transform, identify. The instance is consumed (ripping mutates state).
+// transform, identify. Results are memoized in a process-wide store keyed by
+// the instance's structural fingerprint: the first call per application
+// builds (consuming the instance — ripping mutates state); later calls for a
+// structurally identical application return the cached model without
+// touching the instance at all.
 func Model(app *App) (*TopologyModel, error) {
-	g, _, err := ung.Rip(app, ung.Config{})
-	if err != nil {
-		return nil, err
-	}
-	f, _, err := forest.Transform(g, forest.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return describe.NewModel(f), nil
+	return defaultStore.Model(structuralKey(app), func() *appkit.App { return app }, modelstore.Options{})
+}
+
+// ModelParallel is Model with the offline build distributed over a pool of
+// worker goroutines, each driving its own throwaway instance from factory.
+// The result is byte-identical to the sequential build and lands in the same
+// process-wide cache.
+func ModelParallel(factory func() *App, workers int) (*TopologyModel, error) {
+	probe := factory()
+	return defaultStore.Model(structuralKey(probe), factory, modelstore.Options{Workers: workers})
 }
 
 // EstimateTokens estimates the LLM token cost of a serialized topology.

@@ -64,6 +64,79 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestModelCachedAcrossSessions: a second Model call for a structurally
+// identical application is served from the process-wide store — the same
+// model pointer, so zero additional rip clicks were spent — while a
+// structurally different instance gets its own model.
+func TestModelCachedAcrossSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m1, err := dmi.Model(dmi.NewPowerPoint(6).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := dmi.Model(dmi.NewPowerPoint(6).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("second Model call rebuilt instead of hitting the store")
+	}
+	// A 3-slide deck shows fewer thumbnails than the 6-thumb viewport, so
+	// it is structurally different and must get its own model.
+	m3, err := dmi.Model(dmi.NewPowerPoint(3).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Fatal("structurally different deck shared a cache slot")
+	}
+}
+
+// TestModelKeyCoversHiddenStructure: a 7-slide and a 12-slide deck share an
+// identical initial screen (same 6-thumb viewport) but differ inside
+// dialogs that enumerate per-slide entries, so they rip into different
+// graphs and must not share a cached model.
+func TestModelKeyCoversHiddenStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	m7, err := dmi.Model(dmi.NewPowerPoint(7).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m12, err := dmi.Model(dmi.NewPowerPoint(12).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m7 == m12 {
+		t.Fatal("decks with different hidden structure shared a cache slot")
+	}
+	if m7.NodeCount() == m12.NodeCount() {
+		t.Fatalf("expected different topologies, both have %d nodes", m7.NodeCount())
+	}
+}
+
+// TestModelParallelMatchesSequential: the public parallel entry point lands
+// in the same cache and yields the identical model.
+func TestModelParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	seq, err := dmi.Model(dmi.NewPowerPoint(5).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := dmi.ModelParallel(func() *dmi.App { return dmi.NewPowerPoint(5).App }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != seq {
+		t.Fatal("ModelParallel did not share the sequential build's cache slot")
+	}
+}
+
 // TestOfflineArtifactsComposable: Rip → Transform → NewModel equals Model.
 func TestOfflineArtifactsComposable(t *testing.T) {
 	if testing.Short() {

@@ -12,15 +12,16 @@ package agent
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
+	"repro/internal/appkit"
 	"repro/internal/core"
 	"repro/internal/describe"
-	"repro/internal/forest"
 	"repro/internal/llm"
+	"repro/internal/modelstore"
 	"repro/internal/osworld"
 	"repro/internal/strutil"
-	"repro/internal/ung"
 
 	"repro/internal/office/excel"
 	"repro/internal/office/slides"
@@ -95,34 +96,46 @@ type Models struct {
 	FullTokens map[string]int
 }
 
-// BuildModels runs the offline phase for the three applications.
+// sharedStore caches the offline builds process-wide: repeated BuildModels
+// calls (every benchmark, every matrix cell) reuse one build per app.
+var sharedStore = modelstore.New()
+
+// Factories returns the throwaway-instance builders for the three evaluated
+// applications (the paper's case studies).
+func Factories() map[string]func() *appkit.App {
+	return map[string]func() *appkit.App{
+		"Word":       func() *appkit.App { return word.New().App },
+		"Excel":      func() *appkit.App { return excel.New().App },
+		"PowerPoint": func() *appkit.App { return slides.New(12).App },
+	}
+}
+
+// BuildModels runs the offline phase for the three applications through the
+// shared model store, ripping each with a worker pool.
 func BuildModels() (*Models, error) {
+	return BuildModelsParallel(0)
+}
+
+// BuildModelsParallel is BuildModels with an explicit rip worker-pool size
+// per application (0 = min(4, GOMAXPROCS)). The parallel rip is
+// byte-identical to the sequential one, so the evaluation is unaffected.
+func BuildModelsParallel(workers int) (*Models, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
 	m := &Models{
 		ByApp:      make(map[string]*describe.Model),
 		CoreTokens: make(map[string]int),
 		FullTokens: make(map[string]int),
 	}
-	build := map[string]func() *ung.Graph{
-		"Word": func() *ung.Graph {
-			g, _, _ := ung.Rip(word.New().App, ung.Config{})
-			return g
-		},
-		"Excel": func() *ung.Graph {
-			g, _, _ := ung.Rip(excel.New().App, ung.Config{})
-			return g
-		},
-		"PowerPoint": func() *ung.Graph {
-			g, _, _ := ung.Rip(slides.New(12).App, ung.Config{})
-			return g
-		},
-	}
-	for app, rip := range build {
-		g := rip()
-		f, _, err := forest.Transform(g, forest.Options{})
+	for app, factory := range Factories() {
+		model, err := sharedStore.Model(app, factory, modelstore.Options{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
-		model := describe.NewModel(f)
 		m.ByApp[app] = model
 		m.CoreTokens[app] = describe.Tokens(model.Serialize(describe.CoreOptions()))
 		m.FullTokens[app] = describe.Tokens(model.Serialize(describe.FullOptions()))

@@ -124,6 +124,15 @@ type Options struct {
 	CloneThreshold int
 }
 
+// Normalized returns the options with the defaults filled in — the exact
+// values a transform would use. Cache fingerprints build on it.
+func (o Options) Normalized() Options {
+	if o.CloneThreshold <= 0 {
+		o.CloneThreshold = 64
+	}
+	return o
+}
+
 // Stats reports what the transformation did.
 type Stats struct {
 	GraphNodes       int
@@ -142,9 +151,7 @@ type Stats struct {
 
 // Transform converts a UNG into a path-unambiguous forest.
 func Transform(g *ung.Graph, opt Options) (*Forest, Stats, error) {
-	if opt.CloneThreshold <= 0 {
-		opt.CloneThreshold = 64
-	}
+	opt = opt.Normalized()
 	var st Stats
 	st.GraphNodes = g.NodeCount()
 	st.GraphEdges = g.EdgeCount()

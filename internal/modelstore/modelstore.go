@@ -1,0 +1,241 @@
+// Package modelstore is the shared cache of offline artifacts (paper §3.2's
+// offline phase). The rip→transform→identify pipeline is the dominant cost
+// of the system — the paper budgets hours of automated modeling per
+// application — while the resulting model is immutable and reusable across
+// every session of that application. The store therefore memoizes the whole
+// pipeline behind a key of application name + build-configuration
+// fingerprint, with three properties:
+//
+//   - Concurrency-safe singleflight: N concurrent Model calls for the same
+//     key trigger exactly one offline build; the rest block and share it.
+//   - Versioned JSON snapshots: a persistent store writes the ripped graph
+//     to disk and later runs rebuild the model from the snapshot with zero
+//     rip clicks (transform + identify are cheap; ripping is not).
+//   - Deterministic results: the build uses the parallel ripper, which is
+//     byte-identical to the sequential one, so cached, snapshotted, and
+//     fresh builds all yield the same identifier assignment.
+package modelstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/appkit"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/ung"
+)
+
+// SnapshotVersion is bumped whenever the snapshot encoding or the pipeline
+// semantics change; stale snapshots are ignored and rebuilt.
+const SnapshotVersion = 1
+
+// Options configures one offline build. Workers selects the rip worker pool
+// size and never affects the result, so it is excluded from the fingerprint.
+type Options struct {
+	Rip       ung.Config
+	Transform forest.Options
+	Workers   int
+}
+
+// Fingerprint canonically identifies a build configuration for an
+// application. Two builds with equal fingerprints yield identical models.
+// Zero-valued knobs are normalized to the pipeline defaults first, so an
+// explicit default and a zero value share one cache slot.
+func Fingerprint(app string, opt Options) string {
+	tf := opt.Transform.Normalized()
+	return fmt.Sprintf("%s|clone=%d", RipFingerprint(app, opt.Rip), tf.CloneThreshold)
+}
+
+// RipFingerprint identifies the ripped graph alone — the graph depends only
+// on the rip configuration, so disk snapshots are keyed by it and survive
+// transform-threshold changes (a threshold sweep re-rips nothing).
+func RipFingerprint(app string, cfg ung.Config) string {
+	rip := cfg.Normalized()
+	return fmt.Sprintf("%s|v%d|depth=%d|nodes=%d",
+		app, SnapshotVersion, rip.MaxDepth, rip.MaxNodes)
+}
+
+// Build is the complete outcome of one store lookup.
+type Build struct {
+	Model          *describe.Model
+	Graph          *ung.Graph
+	RipStats       ung.Stats
+	TransformStats forest.Stats
+	// CacheHit: served from the in-memory cache (or joined an in-flight
+	// build); no pipeline work was performed by this call.
+	CacheHit bool
+	// FromSnapshot: the graph was loaded from a disk snapshot; transform
+	// and identify ran, but zero rip clicks were spent.
+	FromSnapshot bool
+	// SnapshotErr records a failed snapshot save. The build itself
+	// succeeded and is cached and returned — discarding a completed rip
+	// because persistence failed would be strictly worse — but callers
+	// that asked for persistence should surface this.
+	SnapshotErr error
+}
+
+// Store memoizes offline builds. The zero value is not usable; construct
+// with New or NewPersistent.
+type Store struct {
+	dir string // "" = in-memory only
+
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is one singleflight slot: the first caller builds, everyone else
+// waits on ready.
+type entry struct {
+	ready chan struct{}
+	build Build
+	err   error
+}
+
+// New creates an in-memory store.
+func New() *Store { return &Store{entries: make(map[string]*entry)} }
+
+// NewPersistent creates a store that additionally saves and reuses JSON
+// graph snapshots under dir (created on first save).
+func NewPersistent(dir string) *Store {
+	s := New()
+	s.dir = dir
+	return s
+}
+
+// Model returns the memoized topology model for the application, building it
+// on first use. The factory must return a fresh throwaway instance per call;
+// it is invoked only on a cache miss (and once per rip worker).
+func (s *Store) Model(app string, factory func() *appkit.App, opt Options) (*describe.Model, error) {
+	b, err := s.Build(app, factory, opt)
+	if err != nil {
+		return nil, err
+	}
+	return b.Model, nil
+}
+
+// Build is Model with full build provenance.
+func (s *Store) Build(app string, factory func() *appkit.App, opt Options) (Build, error) {
+	key := Fingerprint(app, opt)
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return Build{}, e.err
+		}
+		b := e.build
+		b.CacheHit = true
+		return b, nil
+	}
+	e := &entry{ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.build, e.err = s.build(app, factory, opt)
+	if e.err != nil {
+		// Failed builds are not cached: drop the slot so a later call can
+		// retry, then release the waiters.
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.mu.Unlock()
+	}
+	close(e.ready)
+	return e.build, e.err
+}
+
+// Len reports the number of completed or in-flight cached builds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Invalidate drops the cached build for one configuration (snapshots on
+// disk are left alone; delete the file to force a full re-rip).
+func (s *Store) Invalidate(app string, opt Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, Fingerprint(app, opt))
+}
+
+// build runs the pipeline: snapshot load if available, else rip (parallel
+// when opt.Workers > 1), then transform + identify, then snapshot save.
+func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Build, error) {
+	var b Build
+
+	ripKey := RipFingerprint(app, opt.Rip)
+	if g, ok := s.loadSnapshot(ripKey); ok {
+		b.Graph = g
+		b.FromSnapshot = true
+	} else {
+		var err error
+		b.Graph, b.RipStats, err = ung.RipParallel(factory, opt.Rip, opt.Workers)
+		if err != nil {
+			return Build{}, fmt.Errorf("modelstore: rip %s: %w", app, err)
+		}
+	}
+
+	f, ts, err := forest.Transform(b.Graph, opt.Transform)
+	if err != nil {
+		return Build{}, fmt.Errorf("modelstore: transform %s: %w", app, err)
+	}
+	b.TransformStats = ts
+	b.Model = describe.NewModel(f)
+
+	if s.dir != "" && !b.FromSnapshot {
+		if err := s.saveSnapshot(ripKey, b.Graph); err != nil {
+			b.SnapshotErr = fmt.Errorf("modelstore: snapshot %s: %w", app, err)
+		}
+	}
+	return b, nil
+}
+
+// snapshotPath keeps one file per fingerprint; the fingerprint's separators
+// are flattened into a safe file name.
+func (s *Store) snapshotPath(key string) string {
+	safe := make([]rune, 0, len(key))
+	for _, r := range key {
+		switch r {
+		case '|', '=', '/', '\\', ' ':
+			safe = append(safe, '-')
+		default:
+			safe = append(safe, r)
+		}
+	}
+	return filepath.Join(s.dir, string(safe)+".json")
+}
+
+func (s *Store) loadSnapshot(key string) (*ung.Graph, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.snapshotPath(key))
+	if err != nil {
+		return nil, false
+	}
+	g, err := ung.Decode(data)
+	if err != nil {
+		return nil, false // corrupt or stale snapshot: rebuild from scratch
+	}
+	return g, true
+}
+
+func (s *Store) saveSnapshot(key string, g *ung.Graph) error {
+	data, err := ung.Encode(g)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	path := s.snapshotPath(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,281 @@
+package modelstore
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/appkit"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/ung"
+)
+
+// storeApp builds a small ribbon application (a trimmed variant of the ung
+// package's demo app) for store tests.
+func storeApp() *appkit.App {
+	a := appkit.New("StoreDemo")
+	picker := a.ColorPicker("clr", "Colors", func(*appkit.App, string) {})
+	home := a.Tab("tabHome", "Home")
+	font := home.Group("grpFont", "Font")
+	font.ToggleButton("btnBold", "Bold", func(*appkit.App) bool { return false }, func(*appkit.App, bool) {})
+	font.MenuButton("btnFontColor", "Font Color", picker, func(*appkit.App) any { return "font" })
+	ins := a.Tab("tabInsert", "Insert")
+	dlg := a.NewDialog("dlgTable", "Insert Table")
+	dlg.Panel().Spinner("spnRows", "Rows", 1, 10, 2, nil)
+	dlg.AddOKCancel(nil)
+	ins.Group("grpTables", "Tables").DialogButton("btnTable", "Table", dlg, nil)
+	a.AddRibbonCollapse()
+	a.Layout()
+	return a
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	s := New()
+	var calls atomic.Int32
+	factory := func() *appkit.App {
+		calls.Add(1)
+		return storeApp()
+	}
+
+	b1, err := s.Build("StoreDemo", factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.CacheHit || b1.FromSnapshot {
+		t.Fatalf("first build flagged as cached: %+v", b1)
+	}
+	if b1.RipStats.Clicks == 0 {
+		t.Fatal("first build did not rip")
+	}
+	after := calls.Load()
+
+	b2, err := s.Build("StoreDemo", factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.CacheHit {
+		t.Fatal("second build missed the cache")
+	}
+	if b2.Model != b1.Model {
+		t.Fatal("cache returned a different model")
+	}
+	if calls.Load() != after {
+		t.Fatalf("cache hit invoked the factory (%d → %d calls)", after, calls.Load())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d entries, want 1", s.Len())
+	}
+}
+
+func TestDifferentFingerprintsMiss(t *testing.T) {
+	s := New()
+	m1, err := s.Model("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Model("StoreDemo", storeApp, Options{Rip: ung.Config{MaxDepth: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("different rip configs shared a cache slot")
+	}
+	// Zero config and explicit defaults normalize to the same fingerprint.
+	if Fingerprint("A", Options{}) != Fingerprint("A", Options{Rip: ung.Config{MaxDepth: 10, MaxNodes: 100000}}) {
+		t.Fatal("default normalization broken")
+	}
+	// Workers never changes the result, so it must not split the cache.
+	if Fingerprint("A", Options{}) != Fingerprint("A", Options{Workers: 8}) {
+		t.Fatal("workers leaked into the fingerprint")
+	}
+}
+
+// TestSingleflight: N concurrent Model calls for one key trigger exactly one
+// offline build, and everyone gets the same model. Run under -race.
+func TestSingleflight(t *testing.T) {
+	s := New()
+	var builds atomic.Int32
+	factory := func() *appkit.App {
+		builds.Add(1)
+		return storeApp()
+	}
+
+	const n = 16
+	results := make([]*describe.Model, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := s.Model("StoreDemo", factory, Options{Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = m
+		}(i)
+	}
+	wg.Wait()
+
+	// One build = probe + per-worker instances; a second build would at
+	// least double the count. With Workers=2 a single build makes exactly
+	// 3 factory calls (probe + 2 workers).
+	if got := builds.Load(); got != 3 {
+		t.Fatalf("factory called %d times, want 3 (one singleflighted parallel build)", got)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different model", i)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := NewPersistent(dir)
+	b1, err := cold.Build("StoreDemo", storeApp, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.FromSnapshot {
+		t.Fatal("cold build claims a snapshot")
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("snapshot not written: %v %d", err, len(files))
+	}
+
+	// A new store over the same directory rebuilds from the snapshot:
+	// zero rip clicks, identical serialized topology.
+	warm := NewPersistent(dir)
+	var calls atomic.Int32
+	b2, err := warm.Build("StoreDemo", func() *appkit.App {
+		calls.Add(1)
+		return storeApp()
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.FromSnapshot {
+		t.Fatal("warm build did not use the snapshot")
+	}
+	if b2.RipStats.Clicks != 0 {
+		t.Fatalf("warm build spent %d rip clicks, want 0", b2.RipStats.Clicks)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("warm build invoked the factory %d times", calls.Load())
+	}
+	want := b1.Model.Serialize(describe.FullOptions())
+	got := b2.Model.Serialize(describe.FullOptions())
+	if want != got {
+		t.Fatal("snapshot build serializes differently from the fresh build")
+	}
+	if b1.Model.NodeCount() != b2.Model.NodeCount() {
+		t.Fatal("identifier assignment differs")
+	}
+}
+
+// TestSnapshotSurvivesThresholdChange: the snapshot is keyed by the rip
+// fingerprint, so a different externalization threshold (a different model)
+// still reuses the ripped graph from disk.
+func TestSnapshotSurvivesThresholdChange(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewPersistent(dir).Build("StoreDemo", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPersistent(dir).Build("StoreDemo", storeApp,
+		Options{Transform: forest.Options{CloneThreshold: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.FromSnapshot {
+		t.Fatal("threshold change discarded the ripped-graph snapshot")
+	}
+}
+
+func TestCorruptSnapshotRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s := NewPersistent(dir)
+	if _, err := s.Build("StoreDemo", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := os.ReadDir(dir)
+	for _, f := range files {
+		if err := os.WriteFile(dir+"/"+f.Name(), []byte("corrupt"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := NewPersistent(dir)
+	b, err := fresh.Build("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FromSnapshot {
+		t.Fatal("corrupt snapshot was trusted")
+	}
+	if b.RipStats.Clicks == 0 {
+		t.Fatal("corrupt snapshot did not trigger a re-rip")
+	}
+}
+
+// TestSnapshotSaveFailureKeepsBuild: persistence failing must not discard a
+// completed build — the model is returned and cached, with the save error
+// recorded for callers that asked for persistence.
+func TestSnapshotSaveFailureKeepsBuild(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// dir nests under a regular file, so MkdirAll fails at save time.
+	s := NewPersistent(filepath.Join(blocker, "snapshots"))
+	b, err := s.Build("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatalf("save failure propagated as build failure: %v", err)
+	}
+	if b.Model == nil || b.RipStats.Clicks == 0 {
+		t.Fatal("build incomplete despite successful pipeline")
+	}
+	if b.SnapshotErr == nil {
+		t.Fatal("save failure not recorded")
+	}
+	b2, err := s.Build("StoreDemo", storeApp, Options{})
+	if err != nil || !b2.CacheHit {
+		t.Fatalf("build with failed save was not cached: %v %+v", err, b2)
+	}
+}
+
+func TestFailedBuildsRetry(t *testing.T) {
+	s := New()
+	// MaxNodes=2 forces the rip to abort.
+	bad := Options{Rip: ung.Config{MaxNodes: 2}}
+	if _, err := s.Build("StoreDemo", storeApp, bad); err == nil {
+		t.Fatal("expected rip failure")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed build was cached (%d entries)", s.Len())
+	}
+	// The slot was dropped, so a workable configuration succeeds on retry.
+	if _, err := s.Build("StoreDemo", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s := New()
+	m1, err := s.Model("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate("StoreDemo", Options{})
+	m2, err := s.Model("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("invalidate did not drop the cached model")
+	}
+}

@@ -1,0 +1,190 @@
+package ung
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/appkit"
+)
+
+// RipParallel builds the UNG with a pool of worker goroutines, each driving
+// its own throwaway application instance built by factory. It produces a
+// graph byte-identical to Rip(factory(), cfg) — same nodes, same discovery
+// order, same edge insertion order — at a fraction of the wall-clock cost.
+//
+// The design separates the two halves of the sequential algorithm:
+//
+//   - Expansion (restore, replay the click path, click, differential
+//     capture) touches only an application instance. It is a deterministic
+//     function of (context, path, control), so any worker instance yields
+//     the same result as the coordinator would.
+//   - Application (ensure nodes, add edges, push newly discovered frames)
+//     touches the shared graph. The coordinator performs it alone, popping
+//     frames in exactly the sequential DFS order, so the merged graph is
+//     deterministic regardless of worker timing.
+//
+// Every frame pushed on the coordinator's stack is dispatched to the pool
+// immediately; the coordinator consumes results in LIFO stack order. All
+// speculative work is useful work — each stacked frame is consumed exactly
+// once — so on success the total click count matches the sequential rip.
+// On the node-limit abort path, expansions already in flight on workers run
+// to completion and their clicks are still counted: error-path Stats report
+// the work actually performed, which can exceed a sequential abort's.
+//
+// workers <= 1 degrades to the sequential Rip on a single fresh instance.
+func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, Stats, error) {
+	if workers <= 1 {
+		return Rip(factory(), cfg)
+	}
+	cfg.fill()
+
+	// The probe instance serves the coordinator: application metadata and
+	// the per-context initial-screen captures. Workers never touch it.
+	probe := factory()
+	g := NewGraph(probe.Name)
+	var st Stats
+	st.Workers = workers
+	start := probe.Desk.Clock().Now()
+
+	q := newJobQueue()
+	wstats := make([]Stats, workers)
+	welapsed := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := factory()
+			t0 := app.Desk.Clock().Now()
+			for {
+				j, ok := q.pop()
+				if !ok {
+					break
+				}
+				j.done <- expand(app, j.ctx, j.f, &wstats[i])
+			}
+			welapsed[i] = app.Desk.Clock().Now() - t0
+		}(i)
+	}
+	fold := func() {
+		q.close()
+		wg.Wait()
+		longest := probe.Desk.Clock().Now() - start
+		for i := range wstats {
+			st.Clicks += wstats[i].Clicks
+			st.Snapshots += wstats[i].Snapshots
+			if welapsed[i] > longest {
+				longest = welapsed[i]
+			}
+		}
+		st.SimulatedTime = longest
+		st.Nodes = g.NodeCount()
+		st.Edges = g.EdgeCount()
+	}
+
+	queued := make(map[string]bool)
+	var stack []*ripJob
+	ctx := ""
+
+	push := func(id string, path []string) {
+		if queued[id] {
+			return
+		}
+		queued[id] = true
+		j := &ripJob{ctx: ctx, f: frame{id: id, path: path}, done: make(chan expansion, 1)}
+		stack = append(stack, j)
+		// Non-clickable frames need no instance work; dispatching them
+		// would only burn a worker on a guaranteed skip.
+		if n := g.Nodes[id]; n != nil && clickable(n.Type) {
+			q.push(j)
+		}
+	}
+
+	contexts := ripContexts(probe)
+	st.Contexts = len(contexts)
+
+	for _, c := range contexts {
+		ctx = c
+		seedContext(g, probe, ctx, &st, push)
+
+		for len(stack) > 0 {
+			if g.NodeCount() > cfg.MaxNodes {
+				fold()
+				return g, st, fmt.Errorf("ung: node limit %d exceeded", cfg.MaxNodes)
+			}
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+			node := g.Nodes[j.f.id]
+			if node == nil {
+				continue
+			}
+			if !clickable(node.Type) {
+				st.Skipped++
+				continue
+			}
+			exp := <-j.done
+			applyExpansion(g, cfg, ctx, j.f, exp, &st, push)
+		}
+	}
+
+	restore(probe, "")
+	fold()
+	return g, st, nil
+}
+
+// ripJob is one frame expansion dispatched to the worker pool.
+type ripJob struct {
+	ctx  string
+	f    frame
+	done chan expansion // buffered: workers never block on the coordinator
+}
+
+// jobQueue is a LIFO work queue. LIFO matters: the coordinator consumes
+// results in stack order, so the most recently pushed job is the one it will
+// wait on soonest.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*ripJob
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) push(j *ripJob) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, j)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue is closed.
+func (q *jobQueue) pop() (*ripJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return nil, false
+	}
+	j := q.jobs[len(q.jobs)-1]
+	q.jobs = q.jobs[:len(q.jobs)-1]
+	return j, true
+}
+
+// close wakes every worker and drops undispatched jobs (relevant only when
+// the coordinator aborts on the node limit).
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.jobs = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,122 @@
+package ung
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/appkit"
+	"repro/internal/office/word"
+)
+
+// assertGraphsIdentical compares two graphs byte-for-byte: discovery order,
+// node metadata, and the insertion order of both edge lists.
+func assertGraphsIdentical(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.App != got.App {
+		t.Fatalf("app %q vs %q", want.App, got.App)
+	}
+	if len(want.Order) != len(got.Order) {
+		t.Fatalf("node count %d vs %d", len(want.Order), len(got.Order))
+	}
+	for i, id := range want.Order {
+		if got.Order[i] != id {
+			t.Fatalf("discovery order diverges at %d: %q vs %q", i, id, got.Order[i])
+		}
+		a, b := want.Nodes[id], got.Nodes[id]
+		if a.Name != b.Name || a.Type != b.Type || a.Desc != b.Desc ||
+			a.LargeEnum != b.LargeEnum || a.Context != b.Context {
+			t.Fatalf("node %q metadata differs: %+v vs %+v", id, a, b)
+		}
+		if !reflect.DeepEqual(a.Out, b.Out) {
+			t.Fatalf("node %q out-edges differ:\n  %v\nvs\n  %v", id, a.Out, b.Out)
+		}
+		if !reflect.DeepEqual(a.In, b.In) {
+			t.Fatalf("node %q in-edges differ:\n  %v\nvs\n  %v", id, a.In, b.In)
+		}
+	}
+}
+
+// TestRipParallelMatchesSequential is the core merge-determinism contract:
+// run under -race, N workers must produce a graph byte-identical to the
+// sequential rip, including both edge lists' insertion order.
+func TestRipParallelMatchesSequential(t *testing.T) {
+	seq, seqStats, err := Rip(demoApp(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, parStats, err := RipParallel(demoApp, Config{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertGraphsIdentical(t, seq, par)
+		// Every dispatched frame is consumed exactly once, so the parallel
+		// rip performs the same exploration — not just reaches the same
+		// result by different work.
+		if parStats.Explored != seqStats.Explored || parStats.Clicks != seqStats.Clicks {
+			t.Errorf("workers=%d: explored/clicks %d/%d, want %d/%d",
+				workers, parStats.Explored, parStats.Clicks, seqStats.Explored, seqStats.Clicks)
+		}
+		if parStats.Workers != workers {
+			t.Errorf("workers stat = %d, want %d", parStats.Workers, workers)
+		}
+	}
+}
+
+// TestRipParallelDeterministic: repeated parallel rips are identical to each
+// other (the property TestRipDeterministic asserts for the sequential path).
+func TestRipParallelDeterministic(t *testing.T) {
+	g1, _, err := RipParallel(demoApp, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := RipParallel(demoApp, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, g1, g2)
+}
+
+func TestRipParallelSingleWorkerDegradesToSequential(t *testing.T) {
+	seq, _, err := Rip(demoApp(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := RipParallel(demoApp, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, seq, par)
+	if st.Workers != 1 {
+		t.Errorf("workers stat = %d, want 1", st.Workers)
+	}
+}
+
+func TestRipParallelNodeLimit(t *testing.T) {
+	_, _, err := RipParallel(demoApp, Config{MaxNodes: 10}, 4)
+	if err == nil {
+		t.Fatal("node limit not enforced")
+	}
+}
+
+// TestRipParallelWord compares the full Word rip across the sequential and
+// parallel paths; skipped in -short mode.
+func TestRipParallelWord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale rip")
+	}
+	seq, _, err := Rip(word.New().App, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := RipParallel(func() *appkit.App { return word.New().App }, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, seq, par)
+	t.Logf("word parallel rip: %d nodes, %d clicks, %d workers, longest worker %s",
+		st.Nodes, st.Clicks, st.Workers, st.SimulatedTime)
+}

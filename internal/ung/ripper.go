@@ -26,6 +26,14 @@ func (c *Config) fill() {
 	}
 }
 
+// Normalized returns the config with the defaults filled in — the exact
+// values a rip would use. Cache fingerprints build on it so a zero config
+// and an explicit default share one slot.
+func (c Config) Normalized() Config {
+	c.fill()
+	return c
+}
+
 // Stats reports the cost of the offline modeling phase (paper §5.2).
 type Stats struct {
 	Nodes     int
@@ -36,9 +44,165 @@ type Stats struct {
 	Clicks    int
 	Snapshots int
 	Contexts  int
+	// Workers is the size of the worker pool (1 for the sequential ripper).
+	Workers int
 	// SimulatedTime is the wall-clock cost on the simulated desktop; the
-	// paper reports < 3 hours of automated modeling per application.
+	// paper reports < 3 hours of automated modeling per application. For a
+	// parallel rip this is the longest single worker's clock — the
+	// wall-clock analog when each worker drives its own machine.
 	SimulatedTime time.Duration
+}
+
+// frame is one pending exploration: activate the control after replaying the
+// click path that made it visible.
+type frame struct {
+	id   string
+	path []string
+}
+
+// expandOutcome classifies one frame activation.
+type expandOutcome int
+
+const (
+	expandOK expandOutcome = iota
+	expandSkipped
+	expandBlocked
+)
+
+// reveal is one control newly revealed by an activation together with the id
+// of the node it attaches beneath (its nearest newly-revealed UI ancestor,
+// or the clicked control for top-level reveals).
+type reveal struct {
+	el     *uia.Element
+	parent string
+}
+
+// expansion is the result of activating one frame's control on an
+// application instance: the newly revealed controls in snapshot order.
+type expansion struct {
+	outcome expandOutcome
+	reveals []reveal
+}
+
+// expand re-establishes the frame's discovery state on the given application
+// instance (soft reset + click-path replay), activates the control, and
+// differences the before/after snapshots. It touches only the instance and
+// the local stats, never the shared graph, so it is safe to run on a pool of
+// throwaway instances concurrently.
+func expand(app *appkit.App, ctx string, f frame, st *Stats) expansion {
+	restore(app, ctx)
+	if !replay(app, f.path, st) {
+		return expansion{outcome: expandSkipped}
+	}
+	before := capture(app, st)
+	el := before.byID[f.id]
+	if el == nil || !el.OnScreen() || !el.Enabled() {
+		return expansion{outcome: expandSkipped}
+	}
+	if app.Blocked(el) {
+		return expansion{outcome: expandBlocked}
+	}
+	if err := app.Desk.Click(el); err != nil {
+		return expansion{outcome: expandSkipped}
+	}
+	st.Clicks++
+	after := capture(app, st)
+
+	// Newly revealed controls attach beneath their nearest newly-revealed
+	// UI ancestor; top-level reveals attach to the clicked control. This
+	// preserves structure inside popups (a shared flyout stays one subtree)
+	// while edges still denote click-induced reachability.
+	fresh := make(map[*uia.Element]bool)
+	for _, e := range after.order {
+		id := e.ControlID()
+		if id == f.id {
+			continue
+		}
+		if _, present := before.byID[id]; present {
+			continue
+		}
+		fresh[e] = true
+	}
+	var reveals []reveal
+	for _, e := range after.order {
+		if !fresh[e] {
+			continue
+		}
+		parent := f.id
+		if anc := nearestIn(e, fresh); anc != nil {
+			parent = anc.ControlID()
+		}
+		reveals = append(reveals, reveal{el: e, parent: parent})
+	}
+	return expansion{outcome: expandOK, reveals: reveals}
+}
+
+// applyExpansion folds one expansion into the shared graph, pushing frames
+// for controls seen for the first time. Both the sequential and the parallel
+// ripper apply expansions in exactly the same order, which is what keeps the
+// two byte-identical.
+func applyExpansion(g *Graph, cfg Config, ctx string, f frame, exp expansion, st *Stats, push func(id string, path []string)) {
+	switch exp.outcome {
+	case expandSkipped:
+		st.Skipped++
+		return
+	case expandBlocked:
+		st.Blocked++
+		return
+	}
+	st.Explored++
+	for _, r := range exp.reveals {
+		id := r.el.ControlID()
+		_, existed := g.Nodes[id]
+		g.Ensure(id, r.el, ctx)
+		g.AddEdge(r.parent, id)
+		if !existed && len(f.path)+1 < cfg.MaxDepth {
+			next := make([]string, len(f.path)+1)
+			copy(next, f.path)
+			next[len(f.path)] = f.id
+			push(id, next)
+		}
+	}
+}
+
+// seedContext performs root-node initialization for one application context
+// (paper §4.1): initial-screen controls attach beneath their visible UI
+// ancestors, anchored at the virtual root; the active tab's content panel is
+// re-anchored under the active TabItem so otherwise unscoped controls are
+// indexable beneath it.
+func seedContext(g *Graph, app *appkit.App, ctx string, st *Stats, push func(id string, path []string)) {
+	restore(app, ctx)
+	snap := capture(app, st)
+	tabItem, tabPanel := app.ActiveTabInfo()
+	inSnap := make(map[*uia.Element]bool, len(snap.order))
+	for _, e := range snap.order {
+		inSnap[e] = true
+	}
+	for _, e := range snap.order {
+		id := e.ControlID()
+		_, existed := g.Nodes[id]
+		g.Ensure(id, e, ctx)
+		parent := RootID
+		if e == tabPanel && tabItem != nil {
+			parent = tabItem.ControlID()
+		} else if anc := nearestIn(e, inSnap); anc != nil {
+			parent = anc.ControlID()
+		}
+		g.AddEdge(parent, id)
+		if !existed {
+			push(id, nil)
+		}
+	}
+}
+
+// ripContexts returns the exploration order: the base context first, then
+// every registered context.
+func ripContexts(app *appkit.App) []string {
+	contexts := []string{""}
+	for _, c := range app.Contexts() {
+		contexts = append(contexts, c.Name)
+	}
+	return contexts
 }
 
 // Rip builds the UNG of an application by DFS differential capture (paper
@@ -47,72 +211,33 @@ type Stats struct {
 // windows are detected by desktop window listeners, the access blocklist is
 // honored, and every registered application context is explored and merged
 // into one topology.
+//
+// Rip is single-threaded on one instance; RipParallel distributes the same
+// exploration over a pool of worker instances and produces a byte-identical
+// graph.
 func Rip(app *appkit.App, cfg Config) (*Graph, Stats, error) {
 	cfg.fill()
 	g := NewGraph(app.Name)
 	var st Stats
+	st.Workers = 1
 	start := app.Desk.Clock().Now()
 
-	// Window listeners confirm popup windows appear; differential capture
-	// picks their content up from full-desktop snapshots.
-	opened := 0
-	app.Desk.Listen(func(ev uia.WindowEvent) {
-		if ev.Opened {
-			opened++
-		}
-	})
-
-	type frame struct {
-		id   string
-		path []string
-	}
-	expanded := make(map[string]bool)
 	queued := make(map[string]bool)
 	var stack []frame
 
 	push := func(id string, path []string) {
-		if queued[id] || expanded[id] {
+		if queued[id] {
 			return
 		}
 		queued[id] = true
 		stack = append(stack, frame{id: id, path: path})
 	}
 
-	contexts := []string{""}
-	for _, c := range app.Contexts() {
-		contexts = append(contexts, c.Name)
-	}
+	contexts := ripContexts(app)
 	st.Contexts = len(contexts)
 
 	for _, ctx := range contexts {
-		restore(app, ctx)
-		snap := capture(app, &st)
-
-		// Root-node initialization (paper §4.1): initial-screen controls
-		// attach beneath their visible UI ancestors, anchored at the
-		// virtual root; the active tab's content panel is re-anchored
-		// under the active TabItem so otherwise unscoped controls are
-		// indexable beneath it.
-		tabItem, tabPanel := app.ActiveTabInfo()
-		inSnap := make(map[*uia.Element]bool, len(snap.order))
-		for _, e := range snap.order {
-			inSnap[e] = true
-		}
-		for _, e := range snap.order {
-			id := e.ControlID()
-			_, existed := g.Nodes[id]
-			g.Ensure(id, e, ctx)
-			parent := RootID
-			if e == tabPanel && tabItem != nil {
-				parent = tabItem.ControlID()
-			} else if anc := nearestIn(e, inSnap); anc != nil {
-				parent = anc.ControlID()
-			}
-			g.AddEdge(parent, id)
-			if !existed {
-				push(id, nil)
-			}
-		}
+		seedContext(g, app, ctx, &st, push)
 
 		for len(stack) > 0 {
 			if g.NodeCount() > cfg.MaxNodes {
@@ -120,10 +245,6 @@ func Rip(app *appkit.App, cfg Config) (*Graph, Stats, error) {
 			}
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			if expanded[f.id] {
-				continue
-			}
-			expanded[f.id] = true
 
 			node := g.Nodes[f.id]
 			if node == nil {
@@ -133,67 +254,8 @@ func Rip(app *appkit.App, cfg Config) (*Graph, Stats, error) {
 				st.Skipped++
 				continue
 			}
-
-			// Re-establish the discovery state: soft reset, then replay
-			// the click path.
-			restore(app, ctx)
-			if !replay(app, f.path, &st) {
-				st.Skipped++
-				continue
-			}
-			before := capture(app, &st)
-			el := before.byID[f.id]
-			if el == nil || !el.OnScreen() || !el.Enabled() {
-				st.Skipped++
-				continue
-			}
-			if app.Blocked(el) {
-				st.Blocked++
-				continue
-			}
-			if err := app.Desk.Click(el); err != nil {
-				st.Skipped++
-				continue
-			}
-			st.Clicks++
-			st.Explored++
-			after := capture(app, &st)
-
-			// Newly revealed controls attach beneath their nearest
-			// newly-revealed UI ancestor; top-level reveals attach to
-			// the clicked control. This preserves structure inside
-			// popups (a shared flyout stays one subtree) while edges
-			// still denote click-induced reachability.
-			fresh := make(map[*uia.Element]bool)
-			for _, e := range after.order {
-				id := e.ControlID()
-				if id == f.id {
-					continue
-				}
-				if _, present := before.byID[id]; present {
-					continue
-				}
-				fresh[e] = true
-			}
-			for _, e := range after.order {
-				if !fresh[e] {
-					continue
-				}
-				id := e.ControlID()
-				_, existed := g.Nodes[id]
-				g.Ensure(id, e, ctx)
-				parent := f.id
-				if anc := nearestIn(e, fresh); anc != nil {
-					parent = anc.ControlID()
-				}
-				g.AddEdge(parent, id)
-				if !existed && len(f.path)+1 < cfg.MaxDepth {
-					next := make([]string, len(f.path)+1)
-					copy(next, f.path)
-					next[len(f.path)] = f.id
-					push(id, next)
-				}
-			}
+			exp := expand(app, ctx, f, &st)
+			applyExpansion(g, cfg, ctx, f, exp, &st, push)
 		}
 	}
 

@@ -1,0 +1,89 @@
+package ung
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/uia"
+)
+
+// The graph snapshot codec lets the offline artifact be persisted and
+// reloaded without re-ripping the application (internal/modelstore builds
+// on it). The encoding preserves everything downstream consumers depend on:
+// node metadata, discovery order, and the insertion order of both edge
+// lists, so a decoded graph transforms into the identical forest and
+// identifier assignment.
+
+// nodeJSON is the wire form of one UNG node.
+type nodeJSON struct {
+	ID        string          `json:"id"`
+	Name      string          `json:"name,omitempty"`
+	Type      uia.ControlType `json:"type"`
+	Desc      string          `json:"desc,omitempty"`
+	LargeEnum bool            `json:"large_enum,omitempty"`
+	Context   string          `json:"context,omitempty"`
+	Out       []string        `json:"out,omitempty"`
+	In        []string        `json:"in,omitempty"`
+}
+
+// graphJSON is the wire form of a graph; nodes are listed in discovery
+// order, which doubles as the Order field.
+type graphJSON struct {
+	App   string     `json:"app"`
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+// Encode serializes the graph to JSON.
+func Encode(g *Graph) ([]byte, error) {
+	w := graphJSON{App: g.App, Nodes: make([]nodeJSON, 0, len(g.Order))}
+	for _, id := range g.Order {
+		n, ok := g.Nodes[id]
+		if !ok {
+			return nil, fmt.Errorf("ung: order references missing node %q", id)
+		}
+		w.Nodes = append(w.Nodes, nodeJSON{
+			ID:        n.ID,
+			Name:      n.Name,
+			Type:      n.Type,
+			Desc:      n.Desc,
+			LargeEnum: n.LargeEnum,
+			Context:   n.Context,
+			Out:       n.Out,
+			In:        n.In,
+		})
+	}
+	return json.Marshal(w)
+}
+
+// Decode reconstructs a graph from its Encode form and validates the
+// structural invariants before returning it.
+func Decode(data []byte) (*Graph, error) {
+	var w graphJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("ung: decode: %w", err)
+	}
+	if len(w.Nodes) == 0 || w.Nodes[0].ID != RootID {
+		return nil, fmt.Errorf("ung: decode: snapshot does not start at the virtual root")
+	}
+	g := &Graph{App: w.App, Nodes: make(map[string]*Node, len(w.Nodes))}
+	for _, n := range w.Nodes {
+		if _, dup := g.Nodes[n.ID]; dup {
+			return nil, fmt.Errorf("ung: decode: duplicate node %q", n.ID)
+		}
+		g.Nodes[n.ID] = &Node{
+			ID:        n.ID,
+			Name:      n.Name,
+			Type:      n.Type,
+			Desc:      n.Desc,
+			LargeEnum: n.LargeEnum,
+			Context:   n.Context,
+			Out:       n.Out,
+			In:        n.In,
+		}
+		g.Order = append(g.Order, n.ID)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("ung: decode: %w", err)
+	}
+	return g, nil
+}

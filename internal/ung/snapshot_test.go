@@ -1,0 +1,28 @@
+package ung
+
+import "testing"
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g, _ := ripDemo(t)
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, g, back)
+}
+
+func TestSnapshotDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"app":"x","nodes":[]}`)); err == nil {
+		t.Error("rootless snapshot accepted")
+	}
+	if _, err := Decode([]byte(`{"app":"x","nodes":[{"id":"[ROOT]","type":32},{"id":"a","type":0,"out":["missing"]}]}`)); err == nil {
+		t.Error("dangling edge accepted")
+	}
+}
