@@ -425,6 +425,29 @@ func BenchmarkAblation_Robustness(b *testing.B) {
 	}
 }
 
+// BenchmarkOnline_ParallelSessions measures the concurrent serving layer:
+// one matrix cell (27 tasks × 3 runs = 81 sessions) served from a worker
+// pool over the shared warm model, at increasing worker counts. sessions/sec
+// is wall-clock throughput; the report stays byte-identical to the
+// sequential run (asserted separately under -race), so the only thing the
+// pool changes is how fast the grid drains.
+func BenchmarkOnline_ParallelSessions(b *testing.B) {
+	m := sharedModels(b)
+	set := bench.Setting{Label: "GUI+DMI / GPT-5 / Medium",
+		Interface: agent.GUIDMI, Profile: llm.GPT5Medium}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sessions := 0
+			for i := 0; i < b.N; i++ {
+				row := bench.RunSettingParallel(m, set, 3, workers)
+				sessions += row.Total
+			}
+			b.ReportMetric(float64(sessions)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
+}
+
 // BenchmarkOnline_VisitPathResolution isolates the executor's hot path.
 func BenchmarkOnline_VisitPathResolution(b *testing.B) {
 	m := sharedModels(b).ByApp["Word"]

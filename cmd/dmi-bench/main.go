@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	dmi-bench [-runs 3] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
+//	dmi-bench [-runs 3] [-parallel N] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
 //
-// With no section flags, everything is printed.
+// With no section flags, everything is printed. -parallel serves the
+// (setting, task, run) grid from a worker pool sharing the warm models; the
+// report is byte-identical to the sequential run.
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	oneshot := flag.Bool("oneshot", false, "print the §5.3 one-shot statistic")
 	tokens := flag.Bool("tokens", false, "print §5.4 token accounting")
 	workers := flag.Int("workers", 0, "rip worker-pool size for the offline phase (0 = auto)")
+	parallel := flag.Int("parallel", 1, "online-phase worker-pool size (1 = sequential, 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	all := !*table3 && !*fig5a && !*fig5b && !*fig6 && !*oneshot && !*tokens
@@ -38,9 +41,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "modeling failed:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "online phase: %d settings × 27 tasks × %d runs…\n",
-		len(bench.Matrix()), *runs)
-	rep := bench.Run(models, *runs)
+	fmt.Fprintf(os.Stderr, "online phase: %d settings × 27 tasks × %d runs (parallel=%d)…\n",
+		len(bench.Matrix()), *runs, *parallel)
+	rep := bench.RunParallel(models, *runs, *parallel)
 
 	w := os.Stdout
 	if all || *table3 {

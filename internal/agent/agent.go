@@ -90,6 +90,13 @@ type Outcome struct {
 // Models carries the offline artifacts shared by every run: one modeled
 // forest per application (built from throwaway instances, as the paper's
 // offline phase) plus their serialized token costs.
+//
+// Models is read-only after BuildModels returns. This is the contract the
+// concurrent online-serving layer (bench.RunParallel) relies on: any number
+// of sessions may plan over the same warm describe.Model simultaneously, so
+// neither the maps nor the models they hold may be mutated. describe.Model
+// exposes no mutating methods after construction, and the bench equivalence
+// test exercises concurrent runs under the race detector.
 type Models struct {
 	ByApp      map[string]*describe.Model
 	CoreTokens map[string]int
@@ -144,6 +151,12 @@ func BuildModelsParallel(workers int) (*Models, error) {
 }
 
 // Run executes one task under one configuration with a deterministic RNG.
+//
+// Run is safe for concurrent use with distinct rng values: every call
+// builds its own environment (application instance, desktop, simulated
+// clock) from task.Build(), and the shared models are read-only (see
+// Models). Task plans and the offline forest are only ever read; the only
+// state a run mutates lives in its own env.
 func Run(models *Models, task osworld.Task, cfg Config, rng *rand.Rand) Outcome {
 	cfg.fill()
 	env := task.Build()

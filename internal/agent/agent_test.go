@@ -111,3 +111,48 @@ func TestRunDeterminism(t *testing.T) {
 		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
 	}
 }
+
+// TestRunConcurrentSharedModels: Run is documented as safe for concurrent
+// use over shared read-only Models — many sessions, one warm model. Under
+// -race this enforces the read-only contract; functionally each concurrent
+// run must still equal its sequential twin (same seed → same outcome).
+func TestRunConcurrentSharedModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale integration")
+	}
+	m := sharedModels(t)
+	tasks := osworld.All()
+	cfgs := []Config{
+		{Interface: GUIDMI, Profile: llm.GPT5Medium},
+		{Interface: GUIOnly, Profile: llm.GPT5Medium},
+		{Interface: GUIForest, Profile: llm.GPT5Mini},
+	}
+	type cell struct{ cfg, task, run int }
+	var cells []cell
+	for c := range cfgs {
+		for ti := range tasks {
+			for r := 0; r < 2; r++ {
+				cells = append(cells, cell{c, ti, r})
+			}
+		}
+	}
+	seq := make([]Outcome, len(cells))
+	for i, c := range cells {
+		seq[i] = Run(m, tasks[c.task], cfgs[c.cfg], llm.Rand("conc", tasks[c.task].ID, c.run+10*c.cfg))
+	}
+	par := make([]Outcome, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			par[i] = Run(m, tasks[c.task], cfgs[c.cfg], llm.Rand("conc", tasks[c.task].ID, c.run+10*c.cfg))
+		}(i, c)
+	}
+	wg.Wait()
+	for i := range cells {
+		if par[i] != seq[i] {
+			t.Fatalf("cell %d: concurrent outcome %+v != sequential %+v", i, par[i], seq[i])
+		}
+	}
+}

@@ -8,8 +8,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/llm"
@@ -63,34 +65,116 @@ type Report struct {
 // Run executes the full matrix: every task, `runs` seeded repetitions per
 // setting (the paper runs each task three times and averages).
 func Run(models *agent.Models, runs int) *Report {
+	return RunParallel(models, runs, 1)
+}
+
+// RunParallel is Run served from a worker pool: the (setting, task, run)
+// grid fans out over `workers` goroutines that all share the warm
+// describe.Models — the "computer as server" posture where many concurrent
+// sessions multiplex one offline model. Every run owns its RNG stream and
+// its own application instance, so runs are independent; outcomes are
+// collected in grid order and aggregated sequentially, which makes the
+// parallel Report byte-identical to the sequential one. workers <= 1 runs
+// in-line; workers <= 0 uses GOMAXPROCS.
+func RunParallel(models *agent.Models, runs, workers int) *Report {
+	settings := Matrix()
 	tasks := osworld.All()
+	outcomes := executeGrid(models, settings, tasks, runs, workers)
 	rep := &Report{Runs: runs, Tasks: tasks}
-	for _, set := range Matrix() {
-		rep.Rows = append(rep.Rows, runSetting(models, set, tasks, runs))
+	per := len(tasks) * runs
+	for i, set := range settings {
+		rep.Rows = append(rep.Rows, aggregate(set, tasks, runs, outcomes[i*per:(i+1)*per]))
 	}
 	return rep
 }
 
 // RunSetting evaluates a single matrix cell (exported for focused benches).
 func RunSetting(models *agent.Models, set Setting, runs int) Row {
-	return runSetting(models, set, osworld.All(), runs)
+	return RunSettingParallel(models, set, runs, 1)
 }
 
-func runSetting(models *agent.Models, set Setting, tasks []osworld.Task, runs int) Row {
+// RunSettingParallel evaluates a single matrix cell over a worker pool.
+func RunSettingParallel(models *agent.Models, set Setting, runs, workers int) Row {
+	tasks := osworld.All()
+	outcomes := executeGrid(models, []Setting{set}, tasks, runs, workers)
+	return aggregate(set, tasks, runs, outcomes)
+}
+
+// gridJob is one (setting, task, run) cell of the evaluation grid.
+type gridJob struct {
+	setting Setting
+	task    osworld.Task
+	run     int
+}
+
+// seedLabel derives the RNG experiment label. Common random numbers:
+// settings that share a model profile share RNG streams, so differences
+// between interfaces are driven by the interface, not seed luck (variance
+// reduction across the matrix).
+func seedLabel(set Setting) string {
+	return set.Profile.Name + "/" + set.Profile.Reasoning
+}
+
+// executeGrid runs every grid cell and returns the outcomes in grid order
+// (settings-major, then tasks, then runs) regardless of worker count. Each
+// worker writes only its own slice elements, so collection needs no locks
+// and preserves the deterministic order the aggregation depends on.
+func executeGrid(models *agent.Models, settings []Setting, tasks []osworld.Task, runs, workers int) []agent.Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make([]gridJob, 0, len(settings)*len(tasks)*runs)
+	for _, set := range settings {
+		for _, task := range tasks {
+			for r := 0; r < runs; r++ {
+				jobs = append(jobs, gridJob{setting: set, task: task, run: r})
+			}
+		}
+	}
+	out := make([]agent.Outcome, len(jobs))
+	runJob := func(i int) {
+		j := jobs[i]
+		cfg := agent.Config{Interface: j.setting.Interface, Profile: j.setting.Profile}
+		rng := llm.Rand(seedLabel(j.setting), j.task.ID, j.run)
+		out[i] = agent.Run(models, j.task, cfg, rng)
+	}
+	if workers <= 1 || len(jobs) <= 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runJob(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// aggregate folds one setting's grid-ordered outcomes into its Table 3 row.
+func aggregate(set Setting, tasks []osworld.Task, runs int, outcomes []agent.Outcome) Row {
 	row := Row{Setting: set, SolvedTasks: make(map[string]bool)}
-	cfg := agent.Config{Interface: set.Interface, Profile: set.Profile}
 	var stepSum, coreSum, timeSum float64
 	var tokSum float64
 	oneShot := 0
-	// Common random numbers: settings that share a model profile share RNG
-	// streams, so differences between interfaces are driven by the
-	// interface, not seed luck (variance reduction across the matrix).
-	seedLabel := set.Profile.Name + "/" + set.Profile.Reasoning
+	i := 0
 	for _, task := range tasks {
 		wins := 0
 		for r := 0; r < runs; r++ {
-			rng := llm.Rand(seedLabel, task.ID, r)
-			out := agent.Run(models, task, cfg, rng)
+			out := outcomes[i]
+			i++
 			row.Outcomes = append(row.Outcomes, out)
 			row.Total++
 			tokSum += float64(out.Prompt + out.Completed)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/agent"
+	"repro/internal/llm"
 )
 
 var (
@@ -229,6 +230,72 @@ func TestDeterministicReport(t *testing.T) {
 	for i := range rep.Rows {
 		if rep.Rows[i].SR != again.Rows[i].SR || rep.Rows[i].Steps != again.Rows[i].Steps {
 			t.Fatalf("row %d not reproducible", i)
+		}
+	}
+}
+
+// renderAll renders every section of a report into one byte stream.
+func renderAll(models *agent.Models, rep *Report) string {
+	var buf bytes.Buffer
+	rep.WriteTable3(&buf)
+	rep.WriteFig5(&buf)
+	rep.WriteFig6(&buf)
+	rep.WriteOneShot(&buf)
+	rep.WriteTokens(&buf, models)
+	return buf.String()
+}
+
+// TestParallelReportEquivalence: the concurrent serving layer must be an
+// implementation detail — RunParallel with a worker pool produces a Report
+// whose every rendered byte matches the sequential run. Run under -race,
+// this also proves the warm models are shared between concurrent sessions
+// without unsynchronized mutation.
+func TestParallelReportEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	models, rep := sharedReport(t)
+	seq := renderAll(models, rep)
+	for _, workers := range []int{4, 16} {
+		par := RunParallel(models, 3, workers)
+		if got := renderAll(models, par); got != seq {
+			t.Fatalf("workers=%d: parallel report differs from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s",
+				workers, got, seq)
+		}
+		// The structured outcomes must match cell-for-cell too, not just
+		// the rendered aggregates.
+		for i := range rep.Rows {
+			if len(par.Rows[i].Outcomes) != len(rep.Rows[i].Outcomes) {
+				t.Fatalf("workers=%d row %d: outcome count %d != %d",
+					workers, i, len(par.Rows[i].Outcomes), len(rep.Rows[i].Outcomes))
+			}
+			for j, o := range rep.Rows[i].Outcomes {
+				if par.Rows[i].Outcomes[j] != o {
+					t.Fatalf("workers=%d row %d outcome %d: %+v != %+v",
+						workers, i, j, par.Rows[i].Outcomes[j], o)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSettingParallelEquivalence covers the single-cell entry point the
+// focused benchmarks use.
+func TestRunSettingParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-cell evaluation")
+	}
+	models, _ := sharedReport(t)
+	set := Setting{Label: "GUI+DMI / GPT-5 / Medium", Interface: agent.GUIDMI, Profile: llm.GPT5Medium}
+	seq := RunSetting(models, set, 3)
+	par := RunSettingParallel(models, set, 3, 8)
+	if seq.SR != par.SR || seq.Steps != par.Steps || seq.Tokens != par.Tokens ||
+		seq.TimeS != par.TimeS || seq.OneShot != par.OneShot {
+		t.Fatalf("parallel single-cell row differs: %+v != %+v", par, seq)
+	}
+	for j := range seq.Outcomes {
+		if seq.Outcomes[j] != par.Outcomes[j] {
+			t.Fatalf("outcome %d differs: %+v != %+v", j, par.Outcomes[j], seq.Outcomes[j])
 		}
 	}
 }

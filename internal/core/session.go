@@ -42,6 +42,12 @@ func (o *Options) fill() {
 }
 
 // Session binds the DMI runtime to one application and its offline model.
+//
+// A Session is single-goroutine: it mutates its application and its Actions
+// counter freely. The Model, however, is routinely shared between many
+// concurrent sessions of the same application (the warm-model serving
+// tier), so the session treats it as strictly read-only — every Model
+// access below is a lookup on structures frozen at describe.NewModel time.
 type Session struct {
 	App   *appkit.App
 	Model *describe.Model
@@ -89,8 +95,14 @@ func gidParts(gid string) (primary, ctype string, ancestors []string) {
 func matchScore(step *forest.Node, elPrimary, elName string, elAncestors []string) float64 {
 	primary, _, anc := gidParts(step.GID)
 	nameSim := strutil.Similarity(primary, elPrimary)
-	if s := strutil.Similarity(step.Name, elName); s > nameSim {
-		nameSim = s
+	// The name channel only speaks when both sides have a name: two
+	// unnamed controls are not thereby similar, and letting
+	// Similarity("", "") = 1 override a low identifier similarity would
+	// fuzzy-match any unnamed control to any unnamed step.
+	if strutil.Normalize(step.Name) != "" && strutil.Normalize(elName) != "" {
+		if s := strutil.Similarity(step.Name, elName); s > nameSim {
+			nameSim = s
+		}
 	}
 	overlap := ancestorOverlap(anc, elAncestors)
 	return 0.7*nameSim + 0.3*overlap

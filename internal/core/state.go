@@ -178,7 +178,9 @@ func (s *Session) SetTexts(lm *LabelMap, label, text string) *StepError {
 
 // GetTexts is the active observation mode: it retrieves the full textual
 // content of the named controls through Text and Value patterns, without
-// truncation (paper §3.5).
+// truncation (paper §3.5). Results are keyed by the labels exactly as the
+// caller passed them, so callers can index the map with what they asked for
+// regardless of casing or surrounding whitespace.
 func (s *Session) GetTexts(lm *LabelMap, labels []string) (map[string]string, *StepError) {
 	out := make(map[string]string, len(labels))
 	for _, l := range labels {
@@ -191,7 +193,7 @@ func (s *Session) GetTexts(lm *LabelMap, labels []string) (map[string]string, *S
 			return nil, s.noPattern(lm, el, "Text or Value")
 		}
 		s.act()
-		out[strings.ToUpper(strings.TrimSpace(l))] = text
+		out[l] = text
 	}
 	return out, nil
 }
@@ -206,7 +208,10 @@ func (s *Session) PassiveTexts(lm *LabelMap, truncAt int) string {
 	}
 	var b strings.Builder
 	empty := 0
-	var lines []string
+	// Emit in capture order (lm.order): it is deterministic per capture and
+	// keeps the rendered screen consistent with the labeling the LLM sees.
+	// Sorting lines lexicographically by label would not — "AA" sorts
+	// before "B" once a screen exceeds 26 controls.
 	for _, e := range lm.order {
 		if e.Type() != uia.DataItemControl {
 			continue
@@ -219,13 +224,8 @@ func (s *Session) PassiveTexts(lm *LabelMap, truncAt int) string {
 			empty++
 			continue
 		}
-		lines = append(lines, fmt.Sprintf("%s %s=%s",
-			lm.labels[e], e.Name(), strutil.TruncateChars(text, truncAt)))
-	}
-	sort.Strings(lines) // stable prompt text independent of map order
-	for _, l := range lines {
-		b.WriteString(l)
-		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%s %s=%s\n",
+			lm.labels[e], e.Name(), strutil.TruncateChars(text, truncAt))
 	}
 	if empty > 0 {
 		fmt.Fprintf(&b, "(%d empty data items omitted)\n", empty)

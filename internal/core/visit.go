@@ -259,9 +259,8 @@ func (s *Session) navigate(steps []*forest.Node, nodeID int) (*uia.Element, int,
 				return nil, clicks, stepErr(ErrNotFound, nodeID, win.Name(), "blocked",
 					"window close limit reached while searching for the target")
 			}
-			s.closeTopWindow(win, snap)
+			clicks += s.closeTopWindow(win, snap)
 			closes++
-			clicks++
 			continue
 		}
 
@@ -388,24 +387,30 @@ func (s *Session) isMainWindow(win *uia.Element) bool {
 
 // closeTopWindow dismisses a window that contains no remaining navigation
 // step, favouring the saving of modifications: OK > Close > Cancel, with
-// Esc as the final fallback (§4.3).
-func (s *Session) closeTopWindow(win *uia.Element, snap []*uia.Element) {
+// Esc as the final fallback (§4.3). It returns the number of primitive UI
+// actions it spent (button clicks plus the possible Esc), so callers can
+// account every action — a single close can cost up to four.
+func (s *Session) closeTopWindow(win *uia.Element, snap []*uia.Element) int {
+	acted := 0
 	for _, name := range []string{"OK", "Close", "Cancel"} {
 		for _, e := range snap {
 			if e.Type() == uia.ButtonControl && e.Name() == name && e.Enabled() {
 				s.Actions++
+				acted++
 				if err := s.App.Desk.Click(e); err == nil {
 					if !s.App.Desk.IsOpen(win) {
-						return
+						return acted
 					}
 				}
 				break
 			}
 		}
 		if !s.App.Desk.IsOpen(win) {
-			return
+			return acted
 		}
 	}
 	s.Actions++
+	acted++
 	_ = s.App.Desk.PressKey("ESC")
+	return acted
 }

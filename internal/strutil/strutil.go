@@ -68,8 +68,11 @@ func Similarity(a, b string) float64 {
 		return 0
 	}
 	// Prefix relationships ("Go To" vs "Go To Next") matter for renamed
-	// controls; give containment a floor.
-	if s < 0.6 && (strings.Contains(na, nb) || strings.Contains(nb, na)) {
+	// controls; give containment a floor. An empty operand is contained in
+	// everything, so the floor applies only when both sides are non-empty —
+	// otherwise "[Unnamed]"/empty-named controls fuzzy-match nearly anything.
+	if s < 0.6 && na != "" && nb != "" &&
+		(strings.Contains(na, nb) || strings.Contains(nb, na)) {
 		return 0.6
 	}
 	return s

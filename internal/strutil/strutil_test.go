@@ -69,6 +69,28 @@ func TestSimilarity(t *testing.T) {
 	}
 }
 
+// TestSimilarityEmptyOperands: the containment floor must not fire when one
+// normalized side is empty — strings.Contains(x, "") is always true, which
+// let empty-named controls fuzzy-match nearly anything at 0.6.
+func TestSimilarityEmptyOperands(t *testing.T) {
+	for _, c := range [][2]string{
+		{"", "Font Color"},
+		{"Font Color", ""},
+		{"   ", "Font Color"}, // normalizes to empty
+		{"Font Color", "\t\n"},
+	} {
+		if s := Similarity(c[0], c[1]); s != 0 {
+			t.Errorf("Similarity(%q, %q) = %v, want 0 (no containment floor)", c[0], c[1], s)
+		}
+	}
+	if Similarity("", "") != 1 {
+		t.Error("two empty strings are equal and should score 1")
+	}
+	if Similarity("  ", "\t") != 1 {
+		t.Error("two whitespace-only strings normalize equal and should score 1")
+	}
+}
+
 func TestSimilarityRange(t *testing.T) {
 	f := func(a, b string) bool {
 		s := Similarity(a, b)
