@@ -426,7 +426,7 @@ func BenchmarkAblation_Robustness(b *testing.B) {
 }
 
 // BenchmarkOnline_ParallelSessions measures the concurrent serving layer:
-// one matrix cell (27 tasks × 3 runs = 81 sessions) served from a worker
+// one matrix cell (39 tasks × 3 runs = 117 sessions) served from a worker
 // pool over the shared warm model, at increasing worker counts. sessions/sec
 // is wall-clock throughput; the report stays byte-identical to the
 // sequential run (asserted separately under -race), so the only thing the

@@ -1,5 +1,5 @@
 // Command dmi-bench runs the online evaluation (paper §5.3–§5.6): the
-// 27-task benchmark across the interface × model matrix, regenerating
+// 39-task benchmark across the interface × model matrix, regenerating
 // Table 3, Figure 5a/5b, Figure 6, the one-shot statistic, and the token
 // accounting.
 //
@@ -13,39 +13,65 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/agent"
 	"repro/internal/bench"
+	"repro/internal/osworld"
 )
 
+// errUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; main must not print it again.
+var errUsage = errors.New("invalid usage")
+
 func main() {
-	runs := flag.Int("runs", 3, "seeded repetitions per task (paper: 3)")
-	table3 := flag.Bool("table3", false, "print Table 3")
-	fig5a := flag.Bool("fig5a", false, "print Figure 5a")
-	fig5b := flag.Bool("fig5b", false, "print Figure 5b")
-	fig6 := flag.Bool("fig6", false, "print Figure 6")
-	oneshot := flag.Bool("oneshot", false, "print the §5.3 one-shot statistic")
-	tokens := flag.Bool("tokens", false, "print §5.4 token accounting")
-	workers := flag.Int("workers", 0, "rip worker-pool size for the offline phase (0 = auto)")
-	parallel := flag.Int("parallel", 1, "online-phase worker-pool size (1 = sequential, 0 = GOMAXPROCS)")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given argument list and streams; main is
+// a thin exit-code shim around it so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmi-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runs := fs.Int("runs", 3, "seeded repetitions per task (paper: 3)")
+	table3 := fs.Bool("table3", false, "print Table 3")
+	fig5a := fs.Bool("fig5a", false, "print Figure 5a")
+	fig5b := fs.Bool("fig5b", false, "print Figure 5b")
+	fig6 := fs.Bool("fig6", false, "print Figure 6")
+	oneshot := fs.Bool("oneshot", false, "print the §5.3 one-shot statistic")
+	tokens := fs.Bool("tokens", false, "print §5.4 token accounting")
+	workers := fs.Int("workers", 0, "rip worker-pool size for the offline phase (0 = auto)")
+	parallel := fs.Int("parallel", 1, "online-phase worker-pool size (1 = sequential, 0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage was printed, not an error
+		}
+		return errUsage
+	}
 
 	all := !*table3 && !*fig5a && !*fig5b && !*fig6 && !*oneshot && !*tokens
 
-	fmt.Fprintln(os.Stderr, "offline phase: modeling Word, Excel, PowerPoint…")
+	fmt.Fprintf(stderr, "offline phase: modeling the %d-app catalog…\n", len(agent.Factories()))
 	models, err := agent.BuildModelsParallel(*workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "modeling failed:", err)
-		os.Exit(1)
+		return fmt.Errorf("modeling failed: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "online phase: %d settings × 27 tasks × %d runs (parallel=%d)…\n",
-		len(bench.Matrix()), *runs, *parallel)
+	fmt.Fprintf(stderr, "online phase: %d settings × %d tasks × %d runs (parallel=%d)…\n",
+		len(bench.Matrix()), len(osworld.All()), *runs, *parallel)
 	rep := bench.RunParallel(models, *runs, *parallel)
 
-	w := os.Stdout
+	w := stdout
 	if all || *table3 {
 		rep.WriteTable3(w)
 		fmt.Fprintln(w)
@@ -64,4 +90,5 @@ func main() {
 	if all || *tokens {
 		rep.WriteTokens(w, models)
 	}
+	return nil
 }

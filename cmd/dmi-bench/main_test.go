@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/osworld"
+)
+
+func TestBadFlagIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "three"}, &out, &errb); err == nil {
+		t.Fatal("expected a flag-parse error")
+	}
+}
+
+func TestTable3Section(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "1", "-table3"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table 3") {
+		t.Fatalf("missing Table 3 header:\n%s", got)
+	}
+	for _, set := range bench.Matrix() {
+		if !strings.Contains(got, set.Label) {
+			t.Errorf("Table 3 missing row %q", set.Label)
+		}
+	}
+	// Section flags are exclusive: no other sections in the output.
+	for _, absent := range []string{"Figure 5a", "Figure 6", "Token overhead"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("-table3 output unexpectedly contains %q", absent)
+		}
+	}
+	progress := errb.String()
+	want := fmt.Sprintf("%d tasks", len(osworld.All()))
+	if !strings.Contains(progress, want) {
+		t.Errorf("stderr progress should mention %q:\n%s", want, progress)
+	}
+}
+
+// TestParallelFlagMatchesSequential drives the CLI end to end at two pool
+// sizes: the rendered report must be byte-identical (the RunParallel
+// contract surfaced at the binary's boundary).
+func TestParallelFlagMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	var seq, par, errb bytes.Buffer
+	if err := run([]string{"-runs", "1"}, &seq, &errb); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if err := run([]string{"-runs", "1", "-parallel", "8"}, &par, &errb); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("-parallel 8 report differs from the sequential report")
+	}
+	for _, want := range []string{"Table 3", "Figure 5a", "Figure 5b", "Figure 6",
+		"One-shot", "Token overhead", "Settings", "Files"} {
+		if !strings.Contains(seq.String(), want) {
+			t.Errorf("full report missing %q", want)
+		}
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}

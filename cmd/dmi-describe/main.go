@@ -8,56 +8,70 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/appkit"
+	"repro/internal/agent"
 	"repro/internal/describe"
 	"repro/internal/forest"
-	"repro/internal/office/excel"
-	"repro/internal/office/slides"
-	"repro/internal/office/word"
 	"repro/internal/ung"
 )
 
-func main() {
-	app := flag.String("app", "Word", "application (Word, Excel, PowerPoint)")
-	full := flag.Bool("full", false, "serialize the complete forest instead of the core topology")
-	expand := flag.Int("expand", -1, "further_query: print the full substructure beneath this node id")
-	tokens := flag.Bool("tokens", false, "print token accounting only")
-	flag.Parse()
+// errUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; main must not print it again.
+var errUsage = errors.New("invalid usage")
 
-	builders := map[string]func() *appkit.App{
-		"Word":       func() *appkit.App { return word.New().App },
-		"Excel":      func() *appkit.App { return excel.New().App },
-		"PowerPoint": func() *appkit.App { return slides.New(12).App },
-	}
-	build, ok := builders[*app]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given argument list and streams; main is
+// a thin exit-code shim around it so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmi-describe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "Word", "application (Word, Excel, PowerPoint, Settings, Files)")
+	full := fs.Bool("full", false, "serialize the complete forest instead of the core topology")
+	expand := fs.Int("expand", -1, "further_query: print the full substructure beneath this node id")
+	tokens := fs.Bool("tokens", false, "print token accounting only")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage was printed, not an error
+		}
+		return errUsage
+	}
+
+	build, ok := agent.Factories()[*app]
+	if !ok {
+		return fmt.Errorf("unknown app %q", *app)
 	}
 	g, _, err := ung.Rip(build(), ung.Config{})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	f, _, err := forest.Transform(g, forest.Options{})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	m := describe.NewModel(f)
 
 	if *expand >= 0 {
 		out, err := m.SerializeSubtree(*expand)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(out)
-		return
+		fmt.Fprintln(stdout, out)
+		return nil
 	}
 
 	core := m.Serialize(describe.CoreOptions())
@@ -65,15 +79,16 @@ func main() {
 	if *tokens {
 		cc, ct := describe.ControlsIn(core), describe.Tokens(core)
 		fc, ft := describe.ControlsIn(fullText), describe.Tokens(fullText)
-		fmt.Printf("%s core topology: %d controls, %d tokens (%.1f tokens/control)\n",
+		fmt.Fprintf(stdout, "%s core topology: %d controls, %d tokens (%.1f tokens/control)\n",
 			*app, cc, ct, float64(ct)/float64(cc))
-		fmt.Printf("%s full topology: %d controls, %d tokens (%.1f tokens/control)\n",
+		fmt.Fprintf(stdout, "%s full topology: %d controls, %d tokens (%.1f tokens/control)\n",
 			*app, fc, ft, float64(ft)/float64(fc))
-		return
+		return nil
 	}
 	if *full {
-		fmt.Println(fullText)
-		return
+		fmt.Fprintln(stdout, fullText)
+		return nil
 	}
-	fmt.Println(core)
+	fmt.Fprintln(stdout, core)
+	return nil
 }

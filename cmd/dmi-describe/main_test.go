@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUnknownAppIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-app", "Nope"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "Nope") {
+		t.Fatalf("expected unknown-app error, got %v", err)
+	}
+}
+
+func TestBadFlagIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-expand", "x"}, &out, &errb); err == nil {
+		t.Fatal("expected a flag-parse error")
+	}
+}
+
+func TestTokensAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-app", "Files", "-tokens"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Files core topology:", "Files full topology:", "tokens/control"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCoreSerializationMentionsKeyControls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-app", "Settings"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Night light", "Network reset", "Accent color"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("core topology missing %q", want)
+		}
+	}
+}
+
+func TestExpandPrintsSubtree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	var out, errb bytes.Buffer
+	// Node 0 is the topology root; its subtree is the whole main tree.
+	if err := run([]string{"-app", "Settings", "-expand", "0"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("expand printed nothing")
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}

@@ -1,7 +1,7 @@
 // Command dmi-model runs the offline phase (paper §3.2, §4.1, §5.2): it
-// rips each simulated Office application into a UI Navigation Graph,
-// transforms the graph into a path-unambiguous forest, and reports modeling
-// cost, topology statistics, and the Figure 4 graph→tree→forest comparison.
+// rips each simulated application into a UI Navigation Graph, transforms
+// the graph into a path-unambiguous forest, and reports modeling cost,
+// topology statistics, and the Figure 4 graph→tree→forest comparison.
 //
 // Modeling goes through the model store: -workers distributes the rip over
 // a pool of throwaway instances (byte-identical result), and -snapshot
@@ -10,13 +10,15 @@
 //
 // Usage:
 //
-//	dmi-model [-app Word|Excel|PowerPoint|all] [-threshold 64] [-sweep]
-//	          [-workers 4] [-snapshot DIR]
+//	dmi-model [-app Word|Excel|PowerPoint|Settings|Files|all] [-threshold 64]
+//	          [-sweep] [-workers 4] [-snapshot DIR]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"text/tabwriter"
@@ -27,15 +29,39 @@ import (
 	"repro/internal/modelstore"
 )
 
-func main() {
-	app := flag.String("app", "all", "application to model (Word, Excel, PowerPoint, all)")
-	threshold := flag.Int("threshold", 64, "clone-cost threshold for selective externalization")
-	sweep := flag.Bool("sweep", false, "sweep externalization thresholds (design-choice ablation)")
-	workers := flag.Int("workers", 4, "rip worker-pool size (1 = sequential)")
-	snapshot := flag.String("snapshot", "", "directory for JSON graph snapshots (reused across runs)")
-	flag.Parse()
+// errUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; main must not print it again.
+var errUsage = errors.New("invalid usage")
 
-	names := []string{"Word", "Excel", "PowerPoint"}
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given argument list and streams; main is
+// a thin exit-code shim around it so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmi-model", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "all", "application to model (Word, Excel, PowerPoint, Settings, Files, all)")
+	threshold := fs.Int("threshold", 64, "clone-cost threshold for selective externalization")
+	sweep := fs.Bool("sweep", false, "sweep externalization thresholds (design-choice ablation)")
+	workers := fs.Int("workers", 4, "rip worker-pool size (1 = sequential)")
+	snapshot := fs.String("snapshot", "", "directory for JSON graph snapshots (reused across runs)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage was printed, not an error
+		}
+		return errUsage
+	}
+
+	names := agent.AppNames()
 	if *app != "all" {
 		names = []string{*app}
 	}
@@ -50,26 +76,24 @@ func main() {
 		Workers:   *workers,
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\tnodes\tedges\tdepth\tmerges\tback-edges\tnaive-tree\tforest\tshared\tcore-controls\tcore-tokens\tmodel-time\tblocklist\tsource")
 	for _, name := range names {
 		build, ok := bs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
-			os.Exit(1)
+			return fmt.Errorf("unknown app %q", name)
 		}
 		b, err := store.Build(name, build, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "modeling failed:", err)
-			os.Exit(1)
+			return fmt.Errorf("modeling failed: %w", err)
 		}
 		if b.SnapshotErr != nil {
-			fmt.Fprintln(os.Stderr, "warning: model built but not persisted:", b.SnapshotErr)
+			fmt.Fprintln(stderr, "warning: model built but not persisted:", b.SnapshotErr)
 		}
-		g, fs := b.Graph, b.TransformStats
+		g, fstats := b.Graph, b.TransformStats
 		core := b.Model.Serialize(describe.CoreOptions())
-		naive := fmt.Sprint(fs.NaiveTreeNodes)
-		if fs.NaiveTreeNodes == math.MaxInt64 {
+		naive := fmt.Sprint(fstats.NaiveTreeNodes)
+		if fstats.NaiveTreeNodes == math.MaxInt64 {
 			naive = "overflow"
 		}
 		modelTime := b.RipStats.SimulatedTime.Round(1e9).String()
@@ -83,30 +107,31 @@ func main() {
 		blocklist := build().BlocklistSize()
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%s\n",
 			name, g.NodeCount(), g.EdgeCount(), g.MaxDepth(), len(g.MergeNodes()),
-			fs.BackEdgesRemoved, naive, fs.ForestNodes, fs.SharedSubtrees,
+			fstats.BackEdgesRemoved, naive, fstats.ForestNodes, fstats.SharedSubtrees,
 			describe.ControlsIn(core), describe.Tokens(core),
 			modelTime, blocklist, source)
 
 		if *sweep {
 			tw.Flush()
-			fmt.Println("\n  threshold sweep (Figure 4 trade-off):")
+			fmt.Fprintln(stdout, "\n  threshold sweep (Figure 4 trade-off):")
 			for _, th := range []int{1, 8, 32, 64, 128, 512, 4096} {
 				_, s, err := forest.Transform(g, forest.Options{CloneThreshold: th})
 				if err != nil {
 					continue
 				}
-				fmt.Printf("    threshold %5d: forest %6d nodes, %3d shared subtrees, %4d cloned merges\n",
+				fmt.Fprintf(stdout, "    threshold %5d: forest %6d nodes, %3d shared subtrees, %4d cloned merges\n",
 					th, s.ForestNodes, s.SharedSubtrees, s.Cloned)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
 	tw.Flush()
 
 	if *snapshot != "" {
-		fmt.Printf("\nsnapshots in %s: later runs rebuild these models with zero rip clicks.\n", *snapshot)
+		fmt.Fprintf(stdout, "\nsnapshots in %s: later runs rebuild these models with zero rip clicks.\n", *snapshot)
 	}
-	fmt.Println("\nFigure 4: the naive full-clone tree explodes with merge-heavy graphs while")
-	fmt.Println("the forest stays linear; see the naive-tree vs forest columns above and the")
-	fmt.Println("synthetic diamond-chain benchmark (BenchmarkFig4_TopologyTransform).")
+	fmt.Fprintln(stdout, "\nFigure 4: the naive full-clone tree explodes with merge-heavy graphs while")
+	fmt.Fprintln(stdout, "the forest stays linear; see the naive-tree vs forest columns above and the")
+	fmt.Fprintln(stdout, "synthetic diamond-chain benchmark (BenchmarkFig4_TopologyTransform).")
+	return nil
 }

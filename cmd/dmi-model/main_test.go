@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownAppIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-app", "Sketchpad"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "Sketchpad") {
+		t.Fatalf("expected unknown-app error, got %v", err)
+	}
+}
+
+func TestBadFlagIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workers", "many"}, &out, &errb); err == nil {
+		t.Fatal("expected a flag-parse error")
+	}
+}
+
+func TestModelSingleAppTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-app", "Settings", "-workers", "2"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"app", "nodes", "core-tokens", "blocklist",
+		"Settings", "rip(2 workers)", "Figure 4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSnapshotReuseAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	dir := t.TempDir()
+	var cold, warm, errb bytes.Buffer
+	if err := run([]string{"-app", "Files", "-snapshot", dir}, &cold, &errb); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if !strings.Contains(cold.String(), "rip(4 workers)") {
+		t.Fatalf("cold run should rip:\n%s", cold.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no snapshot written to %s (%v)", dir, err)
+	}
+	if filepath.Ext(entries[0].Name()) != ".json" {
+		t.Errorf("snapshot %q is not JSON", entries[0].Name())
+	}
+	if err := run([]string{"-app", "Files", "-snapshot", dir}, &warm, &errb); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !strings.Contains(warm.String(), "snapshot") || !strings.Contains(warm.String(), "0s") {
+		t.Fatalf("warm run should rebuild from the snapshot with zero rip time:\n%s", warm.String())
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -18,44 +20,66 @@ import (
 	"repro/internal/osworld"
 )
 
+// errUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; main must not print it again.
+var errUsage = errors.New("invalid usage")
+
 func main() {
-	list := flag.Bool("list", false, "list all benchmark tasks")
-	run := flag.String("run", "", "task id to run")
-	iface := flag.String("iface", "dmi", "interface: dmi, gui, forest")
-	model := flag.String("model", "medium", "model: medium, minimal, mini")
-	runs := flag.Int("runs", 3, "seeded repetitions")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given argument list and streams; main is
+// a thin exit-code shim around it so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmi-tasks", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list all benchmark tasks")
+	runID := fs.String("run", "", "task id to run")
+	iface := fs.String("iface", "dmi", "interface: dmi, gui, forest")
+	model := fs.String("model", "medium", "model: medium, minimal, mini")
+	runs := fs.Int("runs", 3, "seeded repetitions")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage was printed, not an error
+		}
+		return errUsage
+	}
 
 	if *list {
-		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "id\tapp\tplan steps\tdescription")
 		for _, t := range osworld.All() {
 			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", t.ID, t.App, len(t.Plan), t.Description)
 		}
-		tw.Flush()
-		return
+		return tw.Flush()
 	}
-	if *run == "" {
-		flag.Usage()
-		os.Exit(2)
+	if *runID == "" {
+		fmt.Fprintln(stderr, "one of -list or -run is required")
+		fs.Usage()
+		return errUsage // usage error: same exit class as a bad flag
 	}
 
-	task, ok := osworld.ByID(*run)
+	task, ok := osworld.ByID(*runID)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown task %q (use -list)\n", *run)
-		os.Exit(1)
+		return fmt.Errorf("unknown task %q (use -list)", *runID)
 	}
 	cfg := agent.Config{Interface: interfaceOf(*iface), Profile: profileOf(*model)}
 
-	fmt.Fprintln(os.Stderr, "modeling applications…")
+	fmt.Fprintln(stderr, "modeling applications…")
 	models, err := agent.BuildModels()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("task %s (%s): %s\n", task.ID, task.App, task.Description)
-	fmt.Printf("config: %s, %s/%s, %d run(s)\n\n",
+	fmt.Fprintf(stdout, "task %s (%s): %s\n", task.ID, task.App, task.Description)
+	fmt.Fprintf(stdout, "config: %s, %s/%s, %d run(s)\n\n",
 		cfg.Interface, cfg.Profile.Name, cfg.Profile.Reasoning, *runs)
 	wins := 0
 	for r := 0; r < *runs; r++ {
@@ -65,15 +89,16 @@ func main() {
 			status = "ok"
 			wins++
 		}
-		fmt.Printf("run %d: %-4s steps=%d (core %d, one-shot %v) time=%s tokens=%d",
+		fmt.Fprintf(stdout, "run %d: %-4s steps=%d (core %d, one-shot %v) time=%s tokens=%d",
 			r+1, status, out.Steps, out.CoreSteps, out.OneShot,
 			out.Time.Round(1e9), out.Prompt+out.Completed)
 		if out.Failure != "" {
-			fmt.Printf(" failure=%s", out.Failure)
+			fmt.Fprintf(stdout, " failure=%s", out.Failure)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("\nsuccess rate: %d/%d\n", wins, *runs)
+	fmt.Fprintf(stdout, "\nsuccess rate: %d/%d\n", wins, *runs)
+	return nil
 }
 
 func interfaceOf(s string) agent.Interface {

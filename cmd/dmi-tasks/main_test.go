@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/llm"
+	"repro/internal/osworld"
+)
+
+func TestListPrintsEveryTask(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	got := out.String()
+	for _, task := range osworld.All() {
+		if !strings.Contains(got, task.ID) {
+			t.Errorf("listing missing task %q", task.ID)
+		}
+	}
+	for _, header := range []string{"id", "app", "plan steps", "description"} {
+		if !strings.Contains(got, header) {
+			t.Errorf("listing missing header %q", header)
+		}
+	}
+}
+
+func TestNoArgsIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Fatal("expected an error with neither -list nor -run")
+	}
+}
+
+func TestUnknownTaskIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-run", "no-such-task"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "no-such-task") {
+		t.Fatalf("expected unknown-task error, got %v", err)
+	}
+}
+
+func TestBadFlagIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errb); err == nil {
+		t.Fatal("expected a flag-parse error")
+	}
+}
+
+func TestRunTaskVerbose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "files-delete", "-runs", "2"}, &out, &errb); err != nil {
+		t.Fatalf("run -run files-delete: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"task files-delete (Files):",
+		"config: GUI+DMI, GPT-5/Medium, 2 run(s)",
+		"run 1:", "run 2:", "success rate:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(errb.String(), "modeling applications…") {
+		t.Error("progress line missing from stderr")
+	}
+	// The verbose outcome lines must agree with a direct agent.Run with the
+	// same seeds.
+	task, _ := osworld.ByID("files-delete")
+	cfg := agent.Config{Interface: agent.GUIDMI, Profile: llm.GPT5Medium}
+	models, err := agent.BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := agent.Run(models, task, cfg, llm.Rand("dmi-tasks", task.ID, 0))
+	wantStatus := "FAIL"
+	if direct.Success {
+		wantStatus = "ok"
+	}
+	if !strings.Contains(got, "run 1: "+wantStatus) {
+		t.Errorf("run 1 status disagrees with direct execution (%v):\n%s", direct.Success, got)
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}

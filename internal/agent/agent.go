@@ -23,6 +23,8 @@ import (
 	"repro/internal/osworld"
 	"repro/internal/strutil"
 
+	"repro/internal/apps/filemgr"
+	"repro/internal/apps/settings"
 	"repro/internal/office/excel"
 	"repro/internal/office/slides"
 	"repro/internal/office/word"
@@ -107,18 +109,31 @@ type Models struct {
 // calls (every benchmark, every matrix cell) reuse one build per app.
 var sharedStore = modelstore.New()
 
-// Factories returns the throwaway-instance builders for the three evaluated
-// applications (the paper's case studies).
+// Factories returns the throwaway-instance builders for the evaluated
+// application catalog: the paper's three Office case studies plus the
+// Settings and Files applications of the extended catalog. Adding an app
+// here is all the online stack needs — the store, the benchmark grid, and
+// the CLIs enumerate this map.
 func Factories() map[string]func() *appkit.App {
 	return map[string]func() *appkit.App{
 		"Word":       func() *appkit.App { return word.New().App },
 		"Excel":      func() *appkit.App { return excel.New().App },
 		"PowerPoint": func() *appkit.App { return slides.New(12).App },
+		"Settings":   func() *appkit.App { return settings.New().App },
+		"Files":      func() *appkit.App { return filemgr.New().App },
 	}
 }
 
-// BuildModels runs the offline phase for the three applications through the
-// shared model store, ripping each with a worker pool.
+// AppNames returns the catalog's application names in stable order. It must
+// list exactly the keys of Factories (asserted by TestAppNamesMatchFactories)
+// — every catalog consumer that needs deterministic ordering (CLIs, report
+// tables) iterates this slice instead of the map.
+func AppNames() []string {
+	return []string{"Word", "Excel", "PowerPoint", "Settings", "Files"}
+}
+
+// BuildModels runs the offline phase for the application catalog through
+// the shared model store, ripping each app with a worker pool.
 func BuildModels() (*Models, error) {
 	return BuildModelsParallel(0)
 }

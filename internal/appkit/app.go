@@ -5,8 +5,10 @@
 // conventions (Esc closes popups, menus auto-close on leaf activation, OK
 // applies and closes) that both the GUI ripper and the DMI executor rely on.
 //
-// The three Office simulators (internal/office/...) are built entirely from
-// this kit.
+// The three Office simulators (internal/office/...) and the catalog
+// applications (internal/apps/...) are built entirely from this kit; the
+// "ribbon" vocabulary generalizes to any tabbed, dialog-heavy desktop
+// application.
 package appkit
 
 import (

@@ -3,19 +3,24 @@ package osworld
 import (
 	"strings"
 
+	"repro/internal/apps/filemgr"
+	"repro/internal/apps/settings"
 	"repro/internal/office/excel"
 	"repro/internal/office/slides"
 	"repro/internal/office/word"
 	"repro/internal/uia"
 )
 
-// All returns the 27-task benchmark: 9 Word, 9 Excel, 9 PowerPoint
-// single-application scenarios.
+// All returns the 39-task benchmark: 9 Word, 9 Excel, 9 PowerPoint
+// single-application scenarios (the OSWorld-W shape the paper evaluates)
+// plus 6 Settings and 6 Files scenarios from the extended catalog.
 func All() []Task {
 	var ts []Task
 	ts = append(ts, wordTasks()...)
 	ts = append(ts, excelTasks()...)
 	ts = append(ts, slidesTasks()...)
+	ts = append(ts, settingsTasks()...)
+	ts = append(ts, filesTasks()...)
 	return ts
 }
 
@@ -577,6 +582,273 @@ func slidesTasks() []Task {
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "thumbSlide2"}, VisualDiff: 0.3},
 				input("shpTitle", "Quarterly Review"),
+			},
+		},
+	}
+}
+
+// Settings ---------------------------------------------------------------------
+
+func settingsTasks() []Task {
+	return []Task{
+		{
+			ID: "settings-night-light", App: "Settings",
+			Description: "Turn on night light to cut down blue light in the evenings.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				s := settings.New()
+				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
+					return s.State.NightLight && s.State.Theme != "Dark"
+				}}
+			},
+			Plan: []PlanStep{
+				// Night light vs dark mode is the settings-panel analog of
+				// the font-color/highlight confusion.
+				{Kind: StepAccess, Target: Target{Primary: "tglNightLight"},
+					Ambiguity: 0.15, TrapKind: FailControlSem, TrapWeight: 0.5,
+					TrapAlt: &Target{Primary: "Dark", GIDContains: "mnuTheme"}},
+			},
+		},
+		{
+			ID: "settings-dark-mode", App: "Settings",
+			Description: "Switch the interface to dark mode.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				s := settings.New()
+				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
+					return s.State.Theme == "Dark" && !s.State.NightLight
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "Dark", GIDContains: "mnuTheme"},
+					Ambiguity: 0.15, TrapKind: FailControlSem, TrapWeight: 0.5,
+					TrapAlt: &Target{Primary: "tglNightLight"}},
+			},
+		},
+		{
+			ID: "settings-brightness", App: "Settings",
+			Description: "Set the display brightness to 80 percent.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				s := settings.New()
+				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
+					return s.State.Brightness == 80 && s.State.Volume != 80
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "set_range_value",
+					ControlName: "Brightness", ControlType: uia.SpinnerControl,
+					Value: 80}, VisualDiff: 0.4},
+			},
+		},
+		{
+			ID: "settings-accent-color", App: "Settings",
+			Description: "Make the accent color purple.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				s := settings.New()
+				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
+					return s.State.AccentColor == "Purple" &&
+						s.State.BackgroundColor != "Purple"
+				}}
+			},
+			Plan: []PlanStep{
+				// Accent vs background color: same shared picker, different
+				// opener path — the Office path-ambiguity trap transplanted.
+				{Kind: StepAccess, Target: Target{Primary: "Purple",
+					GIDContains: "clrPickerSStd", Via: "btnAccentColor"},
+					Ambiguity: 0.25, TrapKind: FailControlSem, TrapWeight: 0.5,
+					TrapAlt: &Target{Primary: "Purple", GIDContains: "clrPickerSStd", Via: "btnBackgroundColor"}},
+			},
+		},
+		{
+			ID: "settings-timezone", App: "Settings",
+			Description: "Set the time zone to Hawaii by hand.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				s := settings.New()
+				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
+					return s.State.TimeZone == "(UTC-10:00) Hawaii" && !s.State.AutoTimeZone
+				}}
+			},
+			Plan: []PlanStep{
+				// Leaving "set automatically" on makes the manual pick a
+				// silent no-op — this panel's classic subtle semantics.
+				{Kind: StepAccess, Target: Target{Primary: "tglAutoTimeZone"},
+					TrapKind: FailSubtleSem, TrapWeight: 0.4, TrapAlt: nil},
+				// The zone list is a large enumeration: outside the core
+				// topology, so the DMI agent needs a further_query round.
+				{Kind: StepAccess, Target: Target{Primary: "(UTC-10:00) Hawaii",
+					GIDContains: "cbTimeZone"},
+					Ambiguity: 0.2, TrapKind: FailAmbiguousTask, TrapWeight: 0.25,
+					TrapAlt: &Target{Primary: "(UTC-10:00) Hawaii — Daylight", GIDContains: "cbTimeZone"}},
+			},
+		},
+		{
+			ID: "settings-network-reset", App: "Settings",
+			Description: "Restore the network configuration to its defaults.",
+			Ambiguity:   0.2,
+			Build: func() *Env {
+				s := settings.New()
+				s.State.VPN = true
+				s.State.ProxyOn = true
+				s.State.ProxyServer = "proxy.corp:8080"
+				s.State.WiFi = false
+				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
+					return s.State.NetworkResets == 1 && !s.State.VPN &&
+						s.State.ProxyServer == "" && s.State.WiFi
+				}}
+			},
+			Plan: []PlanStep{
+				// "Reset now" reveals the confirm dialog, so it is a
+				// navigation (non-leaf) node: the declarative agent must take
+				// the imperative slow path to it (§5.7).
+				{Kind: StepAccess, Target: Target{Primary: "btnResetNow",
+					GIDContains: "dlgNetworkReset"}, VisualDiff: 0.3},
+				// Forgetting the confirmation leaves everything unchanged.
+				{Kind: StepAccess, Target: Target{Primary: "dlgResetConfirmOK"},
+					TrapKind: FailSubtleSem, TrapWeight: 0.4, TrapAlt: nil},
+			},
+		},
+	}
+}
+
+// Files ------------------------------------------------------------------------
+
+func filesTasks() []Task {
+	return []Task{
+		{
+			ID: "files-delete", App: "Files",
+			Description: "Delete old_notes.txt from the Documents folder.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				f := filemgr.New()
+				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
+					return !f.FS.Has("Documents", "old_notes.txt") &&
+						f.FS.Trashed("old_notes.txt") &&
+						f.FS.Has("Documents", "notes.txt")
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "select_controls",
+					ControlName: "old_notes.txt", ControlType: uia.ListItemControl,
+					Names: []string{"old_notes.txt"}}, VisualDiff: 0.4},
+				{Kind: StepAccess, Target: Target{Primary: "dlgDeleteFOK", Via: "btnDeleteF"},
+					TrapKind: FailControlSem, TrapWeight: 0.35,
+					TrapAlt: &Target{Primary: "dlgDeleteFCancel", Via: "btnDeleteF"}},
+			},
+		},
+		{
+			ID: "files-rename", App: "Files",
+			Description: "Rename report_draft.txt in Documents to report_final.txt, then open it to check the content.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				f := filemgr.New()
+				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
+					return f.FS.Has("Documents", "report_final.txt") &&
+						!f.FS.Has("Documents", "report_draft.txt") &&
+						f.PreviewOf() != nil && f.PreviewOf().Name == "report_final.txt"
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepState, State: &StateOp{Op: "select_controls",
+					ControlName: "report_draft.txt", ControlType: uia.ListItemControl,
+					Names: []string{"report_draft.txt"}}, VisualDiff: 0.3},
+				{Kind: StepInput, Target: Target{Primary: "edRenameTo", Via: "btnRenameF"},
+					Text: "report_final.txt"},
+				{Kind: StepAccess, Target: Target{Primary: "dlgRenameFOK", Via: "btnRenameF"},
+					TrapKind: FailSubtleSem, TrapWeight: 0.3, TrapAlt: nil},
+				// The model still knows the file by its old name: the access
+				// after the rename only lands through the fuzzy matcher.
+				{Kind: StepAccess, Target: Target{Primary: "report_draft.txt",
+					GIDContains: "lstFiles"}, VisualDiff: 0.3},
+			},
+		},
+		{
+			ID: "files-scroll", App: "Files",
+			Description: "Scroll the Projects folder to show the files at the end of the list.",
+			Ambiguity:   0.1,
+			Build: func() *Env {
+				f := filemgr.New()
+				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
+					return f.Current == "Projects" && f.ViewTop() >= 4
+				}}
+			},
+			Plan: []PlanStep{
+				// Folder items reveal their file rows, so they are non-leaf
+				// navigation nodes (imperative slow path).
+				{Kind: StepAccess, Target: Target{Primary: "fldProjects"}, VisualDiff: 0.2},
+				{Kind: StepState, State: &StateOp{Op: "scrollbar",
+					ControlName: "Files Vertical Scroll Bar",
+					ControlType: uia.ScrollBarControl,
+					H:           uia.NoScroll, V: 85}, VisualDiff: 0.7},
+			},
+		},
+		{
+			ID: "files-preview-copy", App: "Files",
+			Description: "Copy the second and third lines of notes.txt to the clipboard.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				f := filemgr.New()
+				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
+					return f.FS.TextClipboard == "Ship the quarterly report by Friday.\n"+
+						"Review the budget draft with finance."
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "notes.txt",
+					GIDContains: "lstFiles"}, VisualDiff: 0.3},
+				{Kind: StepState, State: &StateOp{Op: "select_lines",
+					ControlName: "Preview", ControlType: uia.DocumentControl,
+					Start: 2, End: 3}, VisualDiff: 0.5},
+				// "Copy Text" vs the file-clipboard "Copy": adjacent controls,
+				// different semantics.
+				{Kind: StepAccess, Target: Target{Primary: "btnCopyText"},
+					Ambiguity: 0.15, TrapKind: FailControlSem, TrapWeight: 0.4,
+					TrapAlt: &Target{Primary: "btnCopyF"}},
+			},
+		},
+		{
+			ID: "files-move", App: "Files",
+			Description: "Move photo2.jpg and photo4.jpg from Pictures into Downloads.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				f := filemgr.New()
+				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
+					return f.FS.Has("Downloads", "photo2.jpg") &&
+						f.FS.Has("Downloads", "photo4.jpg") &&
+						!f.FS.Has("Pictures", "photo2.jpg") &&
+						!f.FS.Has("Pictures", "photo4.jpg")
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "fldPictures"}, VisualDiff: 0.2},
+				{Kind: StepState, State: &StateOp{Op: "select_controls",
+					ControlName: "photo2.jpg", ControlType: uia.ListItemControl,
+					Names: []string{"photo2.jpg", "photo4.jpg"}}, VisualDiff: 0.4},
+				// Copy instead of Cut leaves the originals behind.
+				{Kind: StepAccess, Target: Target{Primary: "btnCutF"},
+					TrapKind: FailControlSem, TrapWeight: 0.35,
+					TrapAlt: &Target{Primary: "btnCopyF"}},
+				{Kind: StepAccess, Target: Target{Primary: "fldDownloads"}, VisualDiff: 0.2},
+				access("btnPasteF", ""),
+			},
+		},
+		{
+			ID: "files-hidden", App: "Files",
+			Description: "Show the hidden files in the Downloads folder.",
+			Ambiguity:   0.15,
+			Build: func() *Env {
+				f := filemgr.New()
+				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
+					return f.Current == "Downloads" && f.ShowHidden
+				}}
+			},
+			Plan: []PlanStep{
+				{Kind: StepAccess, Target: Target{Primary: "fldDownloads"}, VisualDiff: 0.2},
+				{Kind: StepAccess, Target: Target{Primary: "chkHiddenF"},
+					Ambiguity: 0.15, TrapKind: FailControlSem, TrapWeight: 0.4,
+					TrapAlt: &Target{Primary: "chkExtensionsF"}},
 			},
 		},
 	}

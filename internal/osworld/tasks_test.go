@@ -4,8 +4,8 @@ import "testing"
 
 func TestBenchmarkShape(t *testing.T) {
 	tasks := All()
-	if len(tasks) != 27 {
-		t.Fatalf("benchmark has %d tasks, want 27 (OSWorld-W single-app)", len(tasks))
+	if len(tasks) != 39 {
+		t.Fatalf("benchmark has %d tasks, want 39 (27 OSWorld-W + 12 catalog)", len(tasks))
 	}
 	perApp := map[string]int{}
 	seen := map[string]bool{}
@@ -19,9 +19,37 @@ func TestBenchmarkShape(t *testing.T) {
 			t.Errorf("task %q incomplete", task.ID)
 		}
 	}
-	for _, app := range []string{"Word", "Excel", "PowerPoint"} {
-		if perApp[app] != 9 {
-			t.Errorf("%s has %d tasks, want 9", app, perApp[app])
+	want := map[string]int{
+		"Word": 9, "Excel": 9, "PowerPoint": 9, "Settings": 6, "Files": 6,
+	}
+	if len(perApp) != len(want) {
+		t.Errorf("benchmark spans %d apps, want %d", len(perApp), len(want))
+	}
+	for app, n := range want {
+		if perApp[app] != n {
+			t.Errorf("%s has %d tasks, want %d", app, perApp[app], n)
+		}
+	}
+}
+
+// TestByIDCoversAllExactlyOnce: every listed task resolves through ByID to
+// itself, exactly once (id collisions would silently shadow tasks).
+func TestByIDCoversAllExactlyOnce(t *testing.T) {
+	counts := map[string]int{}
+	for _, task := range All() {
+		counts[task.ID]++
+		got, ok := ByID(task.ID)
+		if !ok {
+			t.Errorf("ByID(%q) not found", task.ID)
+			continue
+		}
+		if got.ID != task.ID || got.App != task.App || got.Description != task.Description {
+			t.Errorf("ByID(%q) returned a different task", task.ID)
+		}
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Errorf("task id %q appears %d times", id, n)
 		}
 	}
 }

@@ -1,9 +1,11 @@
-// Package osworld defines the evaluation benchmark: 27 single-application
+// Package osworld defines the evaluation benchmark: 39 single-application
 // tasks over the simulated Word, Excel, and PowerPoint — the shape of the
-// OSWorld-W (Windows) subset the paper evaluates (§5.1). Every task builds
-// a fresh application instance, carries a ground-truth semantic plan
-// annotated with difficulty and failure-trap metadata, and verifies success
-// against real application state after the agent runs.
+// OSWorld-W (Windows) subset the paper evaluates (§5.1) — plus the Settings
+// and Files applications of the extended catalog, which stress category
+// trees, confirm dialogs, list selection state, and scroll viewports. Every
+// task builds a fresh application instance, carries a ground-truth semantic
+// plan annotated with difficulty and failure-trap metadata, and verifies
+// success against real application state after the agent runs.
 package osworld
 
 import (
@@ -75,7 +77,7 @@ type PlanStep struct {
 // Env is a live task environment: a fresh application plus its verifier.
 type Env struct {
 	App  *appkit.App
-	Kind string // "Word", "Excel", "PowerPoint"
+	Kind string // "Word", "Excel", "PowerPoint", "Settings", "Files"
 
 	// Answer records the agent's reply for observation tasks.
 	Answer string

@@ -1,0 +1,93 @@
+package ung
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPath holds the checked-in Encode output of the demo application's
+// graph. It pins the wire format: an unintentional encoding change breaks
+// every snapshot already on disk (modelstore would silently re-rip), so a
+// deliberate format change must bump modelstore.SnapshotVersion and
+// regenerate this file (UPDATE_GOLDEN=1 go test ./internal/ung -run
+// TestSnapshotGolden).
+const goldenPath = "testdata/demo_snapshot.golden.json"
+
+var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestSnapshotGolden(t *testing.T) {
+	g, _ := ripDemo(t)
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatal("snapshot encoding drifted from the golden file; if intentional, " +
+			"bump modelstore.SnapshotVersion and regenerate with UPDATE_GOLDEN=1")
+	}
+	// The golden bytes must also decode back to the identical graph.
+	back, err := Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, g, back)
+}
+
+// FuzzDecode hardens the snapshot codec against corrupt on-disk snapshots
+// (the modelstore path that falls back to a fresh rip): Decode must never
+// panic, and any input it accepts must survive an Encode→Decode round trip
+// structurally unchanged.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real encoding plus the known tricky shapes; the committed
+	// corpus under testdata/fuzz/FuzzDecode extends these and is replayed by
+	// plain `go test`.
+	app := demoApp()
+	g, _, err := Rip(app, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if valid, err := Encode(g); err == nil {
+		f.Add(valid)
+	}
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"app":"x","nodes":[]}`))
+	f.Add([]byte(`{"app":"x","nodes":[{"id":"[ROOT]","type":32},{"id":"a","type":0,"out":["missing"]}]}`))
+	f.Add([]byte(`{"app":"x","nodes":[{"id":"[ROOT]","type":32},{"id":"[ROOT]","type":32}]}`))
+	f.Add([]byte(`{"app":"x","nodes":[{"id":"[ROOT]","type":-5,"out":["a"],"in":["a"]},{"id":"a","type":9999,"in":["[ROOT]"],"out":["[ROOT]"]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			return // rejected: exactly what corrupt snapshots should get
+		}
+		// Accepted inputs must satisfy the structural invariants…
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid graph: %v", err)
+		}
+		// …and round-trip losslessly.
+		again, err := Encode(decoded)
+		if err != nil {
+			t.Fatalf("re-encode of accepted graph failed: %v", err)
+		}
+		back, err := Decode(again)
+		if err != nil {
+			t.Fatalf("decode of re-encoded graph failed: %v", err)
+		}
+		assertGraphsIdentical(t, decoded, back)
+	})
+}

@@ -77,8 +77,12 @@ func Decode(data []byte) (*Graph, error) {
 			Desc:      n.Desc,
 			LargeEnum: n.LargeEnum,
 			Context:   n.Context,
-			Out:       n.Out,
-			In:        n.In,
+			// Canonicalize empty edge lists to nil: `omitempty` cannot
+			// represent empty-but-present on re-encode, so accepting the
+			// distinction would break decode(encode(g)) == g (found by
+			// FuzzDecode).
+			Out: canonEdges(n.Out),
+			In:  canonEdges(n.In),
 		}
 		g.Order = append(g.Order, n.ID)
 	}
@@ -86,4 +90,12 @@ func Decode(data []byte) (*Graph, error) {
 		return nil, fmt.Errorf("ung: decode: %w", err)
 	}
 	return g, nil
+}
+
+// canonEdges maps empty edge lists to nil, the in-memory canonical form.
+func canonEdges(edges []string) []string {
+	if len(edges) == 0 {
+		return nil
+	}
+	return edges
 }
