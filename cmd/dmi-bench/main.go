@@ -5,22 +5,27 @@
 //
 // Usage:
 //
-//	dmi-bench [-runs 3] [-parallel N] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
+//	dmi-bench [-runs 3] [-parallel N] [-json FILE] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
 //
 // With no section flags, everything is printed. -parallel serves the
 // (setting, task, run) grid from a worker pool sharing the warm models; the
-// report is byte-identical to the sequential run.
+// report is byte-identical to the sequential run. -json additionally writes
+// a machine-readable throughput baseline (sessions/sec, model-store warm-hit
+// ratio) for CI perf tracking.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/bench"
+	"repro/internal/modelstore"
 	"repro/internal/osworld"
 )
 
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tokens := fs.Bool("tokens", false, "print §5.4 token accounting")
 	workers := fs.Int("workers", 0, "rip worker-pool size for the offline phase (0 = auto)")
 	parallel := fs.Int("parallel", 1, "online-phase worker-pool size (1 = sequential, 0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "write a machine-readable baseline (sessions/sec, warm-hit ratio) to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
@@ -69,7 +75,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "online phase: %d settings × %d tasks × %d runs (parallel=%d)…\n",
 		len(bench.Matrix()), len(osworld.All()), *runs, *parallel)
+	start := time.Now()
 	rep := bench.RunParallel(models, *runs, *parallel)
+	elapsed := time.Since(start)
+
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut, *runs, *parallel, elapsed); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		fmt.Fprintf(stderr, "baseline written to %s\n", *jsonOut)
+	}
 
 	w := stdout
 	if all || *table3 {
@@ -91,4 +106,58 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rep.WriteTokens(w, models)
 	}
 	return nil
+}
+
+// baseline is the machine-readable perf record CI uploads per run
+// (BENCH_serve.json): online-phase throughput plus the shared model store's
+// warm-serving counters. Wall-clock fields vary per host; the structure is
+// what downstream trend tooling keys on.
+type baseline struct {
+	Settings          int              `json:"settings"`
+	Tasks             int              `json:"tasks"`
+	Runs              int              `json:"runs"`
+	Parallel          int              `json:"parallel"`
+	Sessions          int              `json:"sessions"`
+	ElapsedSeconds    float64          `json:"elapsed_seconds"`
+	SessionsPerSecond float64          `json:"sessions_per_second"`
+	Store             modelstore.Stats `json:"store"`
+	WarmHitRatio      float64          `json:"warm_hit_ratio"`
+}
+
+func writeBaseline(path string, runs, parallel int, elapsed time.Duration) error {
+	settings, tasks := len(bench.Matrix()), len(osworld.All())
+	// Account one warm-model fetch per session start — exactly the store
+	// traffic the serving daemon generates per POST /session. The offline
+	// builds are the only misses, so the warm-hit ratio measures the
+	// serving property itself (one modeling pass amortized over the whole
+	// grid) instead of sitting at a constant.
+	for i := 0; i < settings; i++ {
+		for _, task := range osworld.All() {
+			for r := 0; r < runs; r++ {
+				if _, err := agent.ModelsFor(agent.SharedStore(), task.App, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	b := baseline{
+		Settings: settings,
+		Tasks:    tasks,
+		Runs:     runs,
+		Parallel: parallel,
+		Sessions: settings * tasks * runs,
+		Store:    agent.StoreStats(),
+	}
+	b.ElapsedSeconds = elapsed.Seconds()
+	if b.ElapsedSeconds > 0 {
+		b.SessionsPerSecond = float64(b.Sessions) / b.ElapsedSeconds
+	}
+	if lookups := b.Store.Hits + b.Store.Misses; lookups > 0 {
+		b.WarmHitRatio = float64(b.Store.Hits) / float64(lookups)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

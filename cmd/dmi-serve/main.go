@@ -1,0 +1,272 @@
+// Command dmi-serve is the warm-model serving daemon: the online phase as
+// a long-lived session service. At startup it pre-warms the application
+// catalog through a budgeted model store (per-model cost = encoded snapshot
+// bytes, LRU eviction beyond the budget, snapshot files surviving eviction
+// so reloads spend zero rip clicks), then serves agent sessions over
+// HTTP/JSON from the same worker-pool seam the in-process benchmark uses —
+// responses are byte-identical to bench.Run for the same grid cell.
+//
+// Usage:
+//
+//	dmi-serve [-addr host:port] [-budget BYTES] [-snapshot DIR] [-workers N] [-parallel N]
+//
+// Endpoints:
+//
+//	POST /session  {"app","task","setting","runs"} → the cell's outcomes
+//	GET  /stats    store counters (hits, misses, snapshot loads, evictions,
+//	               resident bytes) plus serving totals and warm-hit ratio
+//	GET  /healthz  readiness (the catalog prewarm completed)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/bench"
+	"repro/internal/modelstore"
+	"repro/internal/osworld"
+)
+
+// errUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; main must not print it again.
+var errUsage = errors.New("invalid usage")
+
+// maxRuns bounds one request's repetitions so a typo cannot park a worker
+// pool on a single cell indefinitely.
+const maxRuns = 100
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given argument list and streams; main is
+// a thin exit-code shim around it so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmi-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8480", "listen address")
+	budget := fs.Int64("budget", 0, "resident-model budget in encoded-snapshot bytes (0 = unlimited)")
+	snapshot := fs.String("snapshot", "", "graph-snapshot directory (evicted models reload from here with zero rip clicks)")
+	workers := fs.Int("workers", 0, "rip worker-pool size for offline builds (0 = auto)")
+	// Request concurrency already comes from the HTTP server (one
+	// goroutine per in-flight request); a per-request pool bigger than 1
+	// multiplies that, so it is opt-in for large multi-run requests.
+	parallel := fs.Int("parallel", 1, "per-request session worker-pool size for multi-run cells (1 = sequential, 0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage was printed, not an error
+		}
+		return errUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "dmi-serve: unexpected argument %q\n", fs.Arg(0))
+		return errUsage
+	}
+
+	srv, err := newServer(*budget, *snapshot, *workers, *parallel, stderr)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("dmi-serve: %w", err)
+	}
+	fmt.Fprintf(stderr, "dmi-serve: listening on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv)
+}
+
+// server is the daemon state: the budgeted store every session start goes
+// through, the session worker-pool size, and the serving counters.
+type server struct {
+	store      *modelstore.Store
+	mux        *http.ServeMux
+	ripWorkers int
+	parallel   int
+	coreTokens map[string]int // catalog token accounting, for /stats
+
+	mu       sync.Mutex
+	sessions int64 // POST /session requests served
+	runs     int64 // outcomes returned across those requests
+}
+
+// newServer builds the daemon and pre-warms the whole catalog through the
+// budgeted store. Under a budget smaller than the catalog the prewarm
+// itself evicts (AppNames order, LRU), which is intended: it populates the
+// snapshot directory so later reloads are rip-free, and it leaves the most
+// recently warmed models resident.
+func newServer(budget int64, snapshotDir string, ripWorkers, parallel int, progress io.Writer) (*server, error) {
+	s := &server{
+		store:      modelstore.NewBudgeted(snapshotDir, budget),
+		ripWorkers: ripWorkers,
+		parallel:   parallel,
+		coreTokens: make(map[string]int),
+	}
+	for _, app := range agent.AppNames() {
+		m, err := agent.ModelsFor(s.store, app, ripWorkers)
+		if err != nil {
+			return nil, fmt.Errorf("dmi-serve: prewarm %s: %w", app, err)
+		}
+		s.coreTokens[app] = m.CoreTokens[app]
+		fmt.Fprintf(progress, "dmi-serve: warmed %s (core topology ≈ %d tokens)\n", app, m.CoreTokens[app])
+	}
+	st := s.store.Stats()
+	fmt.Fprintf(progress, "dmi-serve: prewarm done — %d resident models, %d bytes (budget %d), %d evictions\n",
+		st.ResidentModels, st.ResidentBytes, budget, st.Evictions)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// sessionRequest selects one grid cell: the task (which implies the app),
+// the matrix setting by its Table 3 label, and the repetition count.
+type sessionRequest struct {
+	App     string `json:"app"`
+	Task    string `json:"task"`
+	Setting string `json:"setting"`
+	Runs    int    `json:"runs"`
+}
+
+type sessionResponse struct {
+	App      string          `json:"app"`
+	Task     string          `json:"task"`
+	Setting  string          `json:"setting"`
+	Runs     int             `json:"runs"`
+	Outcomes []agent.Outcome `json:"outcomes"`
+}
+
+func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req sessionRequest
+	// A session request is a few short strings; refuse to buffer more.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	task, ok := osworld.ByID(req.Task)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown task %q", req.Task), http.StatusNotFound)
+		return
+	}
+	if req.App != "" && req.App != task.App {
+		http.Error(w, fmt.Sprintf("task %q belongs to %q, not %q", req.Task, task.App, req.App),
+			http.StatusBadRequest)
+		return
+	}
+	set, ok := bench.SettingByLabel(req.Setting)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown setting %q", req.Setting), http.StatusNotFound)
+		return
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	if runs > maxRuns {
+		http.Error(w, fmt.Sprintf("runs %d exceeds the %d cap", runs, maxRuns), http.StatusBadRequest)
+		return
+	}
+
+	// Every session start routes through the budgeted store: a warm hit, a
+	// zero-rip snapshot reload, or a fresh build, whatever the LRU state
+	// dictates. The fetched view carries the same token accounting as the
+	// full catalog build, so the cell outcomes are byte-identical to
+	// bench.Run's.
+	models, err := agent.ModelsFor(s.store, task.App, s.ripWorkers)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("model build failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	outcomes := bench.RunCell(models, set, task, runs, s.parallel)
+
+	s.mu.Lock()
+	s.sessions++
+	s.runs += int64(len(outcomes))
+	s.mu.Unlock()
+
+	writeJSON(w, sessionResponse{
+		App:      task.App,
+		Task:     task.ID,
+		Setting:  set.Label,
+		Runs:     runs,
+		Outcomes: outcomes,
+	})
+}
+
+type statsResponse struct {
+	Sessions     int64            `json:"sessions"`
+	Runs         int64            `json:"runs"`
+	Store        modelstore.Stats `json:"store"`
+	WarmHitRatio float64          `json:"warm_hit_ratio"`
+	BudgetBytes  int64            `json:"budget_bytes"`
+	CoreTokens   map[string]int   `json:"core_tokens"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.store.Stats()
+	s.mu.Lock()
+	sessions, runs := s.sessions, s.runs
+	s.mu.Unlock()
+	writeJSON(w, statsResponse{
+		Sessions:     sessions,
+		Runs:         runs,
+		Store:        st,
+		WarmHitRatio: warmHitRatio(st),
+		BudgetBytes:  s.store.Budget(),
+		CoreTokens:   s.coreTokens,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	// The server only exists after the prewarm succeeded, so reachable
+	// means ready.
+	writeJSON(w, map[string]any{"ok": true, "apps": len(agent.AppNames())})
+}
+
+// warmHitRatio is the fraction of store lookups served without a build.
+func warmHitRatio(st modelstore.Stats) float64 {
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/bench"
+	"repro/internal/modelstore"
+)
+
+func TestBadFlagIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-budget", "lots"}, &out, &errb); err == nil {
+		t.Fatal("expected a flag-parse error")
+	}
+	if err := run([]string{"stray"}, &out, &errb); err == nil {
+		t.Fatal("expected an error for a stray positional argument")
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}
+
+// syncBuffer lets the test read the daemon's stderr while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeDaemon is the serving-tier acceptance test, driven through run()
+// at the binary boundary: a budget that cannot hold the whole catalog,
+// concurrent POST /session traffic over all five apps, responses
+// byte-identical to the in-process evaluation, and /stats showing ≥1
+// eviction and ≥1 snapshot reload. CI runs it under -race.
+func TestServeDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling plus full-matrix evaluation")
+	}
+	const runs = 2
+
+	// In-process ground truth: the full matrix through the shared store.
+	models, err := agent.BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := bench.Run(models, runs)
+	total := agent.StoreStats().ResidentBytes
+	if total <= 0 {
+		t.Fatalf("shared store reports no resident bytes: %+v", agent.StoreStats())
+	}
+
+	// One byte short of the catalog: every model fits alone, the five
+	// together never do, so the prewarm itself must evict and the request
+	// mix below must trigger snapshot reloads.
+	budget := total - 1
+	stderr := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-budget", fmt.Sprint(budget),
+			"-snapshot", t.TempDir(),
+			"-workers", "2",
+			"-parallel", "2",
+		}, io.Discard, stderr)
+	}()
+	// The daemon goroutine serves until the test binary exits; run()
+	// returning early means startup failed.
+	addrRE := regexp.MustCompile(`listening on http://(\S+)`)
+	var base string
+	for deadline := time.Now().Add(3 * time.Minute); ; {
+		if m := addrRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited during startup: %v\nstderr:\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	t.Run("healthz", func(t *testing.T) {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hz struct {
+			OK   bool `json:"ok"`
+			Apps int  `json:"apps"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || !hz.OK || hz.Apps != len(agent.AppNames()) {
+			t.Fatalf("healthz: status %d, body %+v", resp.StatusCode, hz)
+		}
+	})
+
+	// One task per app × two settings, all POSTed concurrently, twice, so
+	// the store churns through eviction while requests are in flight.
+	tasks := rep.Tasks
+	taskIdx := map[string]int{}
+	for i, task := range tasks {
+		if _, ok := taskIdx[task.App]; !ok {
+			taskIdx[task.App] = i
+		}
+	}
+	if len(taskIdx) != len(agent.AppNames()) {
+		t.Fatalf("benchmark covers %d apps, want %d", len(taskIdx), len(agent.AppNames()))
+	}
+	labels := []string{"GUI+DMI / GPT-5 / Medium", "GUI-only / 5-mini / Medium"}
+	posted := 0
+	t.Run("concurrent-byte-identical", func(t *testing.T) {
+		var wg sync.WaitGroup
+		for round := 0; round < 2; round++ {
+			for app, ti := range taskIdx {
+				for _, label := range labels {
+					wg.Add(1)
+					posted++
+					go func(app string, ti int, label string) {
+						defer wg.Done()
+						body, _ := json.Marshal(sessionRequest{
+							App: app, Task: tasks[ti].ID, Setting: label, Runs: runs,
+						})
+						resp, err := http.Post(base+"/session", "application/json", bytes.NewReader(body))
+						if err != nil {
+							t.Errorf("%s/%s: %v", app, label, err)
+							return
+						}
+						defer resp.Body.Close()
+						raw, err := io.ReadAll(resp.Body)
+						if err != nil || resp.StatusCode != http.StatusOK {
+							t.Errorf("%s/%s: status %d (%v): %s", app, label, resp.StatusCode, err, raw)
+							return
+						}
+						var got struct {
+							Outcomes json.RawMessage `json:"outcomes"`
+						}
+						if err := json.Unmarshal(raw, &got); err != nil {
+							t.Errorf("%s/%s: %v", app, label, err)
+							return
+						}
+						var row bench.Row
+						found := false
+						for _, r := range rep.Rows {
+							if r.Setting.Label == label {
+								row, found = r, true
+							}
+						}
+						if !found {
+							t.Errorf("report lacks row %q", label)
+							return
+						}
+						want, err := json.Marshal(row.Outcomes[ti*runs : (ti+1)*runs])
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !bytes.Equal(got.Outcomes, want) {
+							t.Errorf("%s/%s: daemon outcomes diverge from in-process bench.Run\n got: %s\nwant: %s",
+								app, label, got.Outcomes, want)
+						}
+					}(app, ti, label)
+				}
+			}
+		}
+		wg.Wait()
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		resp, err := http.Get(base + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st statsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Sessions != int64(posted) || st.Runs != int64(posted*runs) {
+			t.Errorf("served %d sessions / %d runs, want %d / %d", st.Sessions, st.Runs, posted, posted*runs)
+		}
+		if st.Store.Evictions < 1 {
+			t.Errorf("budget %d never forced an eviction: %+v", budget, st.Store)
+		}
+		if st.Store.SnapshotLoads < 1 {
+			t.Errorf("no evicted model was reloaded from its snapshot: %+v", st.Store)
+		}
+		if st.Store.ResidentBytes > budget {
+			t.Errorf("resident %d over budget %d", st.Store.ResidentBytes, budget)
+		}
+		if st.WarmHitRatio <= 0 || st.WarmHitRatio >= 1 {
+			t.Errorf("warm-hit ratio %v outside (0,1) despite mixed traffic", st.WarmHitRatio)
+		}
+		if st.BudgetBytes != budget {
+			t.Errorf("reported budget %d, want %d", st.BudgetBytes, budget)
+		}
+		for _, app := range agent.AppNames() {
+			if st.CoreTokens[app] != models.CoreTokens[app] {
+				t.Errorf("%s: daemon core tokens %d != in-process %d", app, st.CoreTokens[app], models.CoreTokens[app])
+			}
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		post := func(body string) *http.Response {
+			t.Helper()
+			resp, err := http.Post(base+"/session", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}
+		task := tasks[taskIdx["Word"]].ID
+		cases := []struct {
+			body string
+			want int
+		}{
+			{`{not json`, http.StatusBadRequest},
+			{`{"task":"no-such-task","setting":"GUI+DMI / GPT-5 / Medium"}`, http.StatusNotFound},
+			{fmt.Sprintf(`{"task":%q,"setting":"no-such-setting"}`, task), http.StatusNotFound},
+			{fmt.Sprintf(`{"app":"Excel","task":%q,"setting":"GUI+DMI / GPT-5 / Medium"}`, task), http.StatusBadRequest},
+			{fmt.Sprintf(`{"task":%q,"setting":"GUI+DMI / GPT-5 / Medium","runs":%d}`, task, maxRuns+1), http.StatusBadRequest},
+		}
+		for _, c := range cases {
+			if resp := post(c.body); resp.StatusCode != c.want {
+				t.Errorf("POST %s: status %d, want %d", c.body, resp.StatusCode, c.want)
+			}
+		}
+		if resp, err := http.Get(base + "/session"); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("GET /session: status %d, want 405", resp.StatusCode)
+			}
+		}
+		if resp, err := http.Post(base+"/stats", "application/json", nil); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("POST /stats: status %d, want 405", resp.StatusCode)
+			}
+		}
+	})
+}
+
+// TestServeUnknownAppPrewarm guards the daemon's error path without paying
+// for a full prewarm: an unknown application through the same seam fails
+// fast.
+func TestServeUnknownAppPrewarm(t *testing.T) {
+	if _, err := agent.ModelsFor(modelstore.New(), "Browser", 1); err == nil {
+		t.Fatal("unknown app should fail the prewarm path")
+	}
+}

@@ -150,12 +150,25 @@ type ModelOptions = modelstore.Options
 // and transform statistics).
 type ModelBuild = modelstore.Build
 
+// ModelStoreStats counts a store's traffic (hits, misses, snapshot loads,
+// evictions) and its warm working set (resident bytes and models).
+type ModelStoreStats = modelstore.Stats
+
 // NewModelStore creates an in-memory model store.
 func NewModelStore() *ModelStore { return modelstore.New() }
 
 // NewPersistentModelStore creates a model store that saves and reuses JSON
 // graph snapshots under dir.
 func NewPersistentModelStore(dir string) *ModelStore { return modelstore.NewPersistent(dir) }
+
+// NewBudgetedModelStore creates a serving-grade model store that holds at
+// most budget bytes of encoded graph snapshots warm (0 = unlimited),
+// evicting the least-recently-used models beyond that. With a non-empty
+// dir, snapshot files survive eviction, so re-accessing an evicted model
+// rebuilds it from disk with zero rip clicks.
+func NewBudgetedModelStore(dir string, budget int64) *ModelStore {
+	return modelstore.NewBudgeted(dir, budget)
+}
 
 // defaultStore backs Model and ModelParallel: one offline build per distinct
 // application structure per process, shared by every session.

@@ -161,3 +161,55 @@ func TestOfflineArtifactsComposable(t *testing.T) {
 		t.Fatal("model ids incomplete")
 	}
 }
+
+// TestBudgetedModelStorePublicAPI drives the serving-tier store exactly as
+// a downstream operator would: a budget that holds one model, two
+// applications cycling through it, stats exposing the traffic.
+func TestBudgetedModelStorePublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("office-scale")
+	}
+	dir := t.TempDir()
+	probe := dmi.NewBudgetedModelStore(dir, 0)
+	word, err := probe.Build("word", func() *dmi.App { return dmi.NewWord("a").App }, dmi.ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slides, err := probe.Build("slides", func() *dmi.App { return dmi.NewPowerPoint(4).App }, dmi.ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word.SnapshotBytes <= 0 || slides.SnapshotBytes <= 0 {
+		t.Fatalf("no snapshot cost reported: word=%d slides=%d", word.SnapshotBytes, slides.SnapshotBytes)
+	}
+
+	// One byte short of both models: each fits alone (so neither takes
+	// the serve-don't-cache path), the pair never does — the second build
+	// must evict the first whatever their relative sizes.
+	store := dmi.NewBudgetedModelStore(dir, word.SnapshotBytes+slides.SnapshotBytes-1)
+	if _, err := store.Build("word", func() *dmi.App { return dmi.NewWord("a").App }, dmi.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Build("slides", func() *dmi.App { return dmi.NewPowerPoint(4).App }, dmi.ModelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Evictions < 1 || st.ResidentModels < 1 {
+		t.Fatalf("tight budget should have evicted: %+v", st)
+	}
+	if st.ResidentBytes > store.Budget() {
+		t.Fatalf("resident %d over budget %d", st.ResidentBytes, store.Budget())
+	}
+	// Re-access the evicted model: zero rip clicks — the snapshot file
+	// survived eviction.
+	back, err := store.Build("word", func() *dmi.App { return dmi.NewWord("a").App }, dmi.ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.FromSnapshot || back.RipStats.Clicks != 0 {
+		t.Fatalf("evicted model should reload from snapshot rip-free: %+v", back)
+	}
+	if got := store.Stats(); got.SnapshotLoads < 1 {
+		t.Fatalf("snapshot reload not counted: %+v", got)
+	}
+}

@@ -11,6 +11,7 @@
 package agent
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"time"
@@ -142,27 +143,73 @@ func BuildModels() (*Models, error) {
 // per application (0 = min(4, GOMAXPROCS)). The parallel rip is
 // byte-identical to the sequential one, so the evaluation is unaffected.
 func BuildModelsParallel(workers int) (*Models, error) {
+	return BuildModelsIn(sharedStore, workers)
+}
+
+// BuildModelsIn is BuildModelsParallel through an explicit store — the seam
+// the warm-model serving tier uses, so a budgeted store's eviction policy
+// governs which catalog models stay resident. Apps are built in AppNames
+// order, which makes prewarm eviction order deterministic.
+func BuildModelsIn(store *modelstore.Store, workers int) (*Models, error) {
+	m := &Models{
+		ByApp:      make(map[string]*describe.Model),
+		CoreTokens: make(map[string]int),
+		FullTokens: make(map[string]int),
+	}
+	for _, app := range AppNames() {
+		one, err := ModelsFor(store, app, workers)
+		if err != nil {
+			return nil, err
+		}
+		m.ByApp[app] = one.ByApp[app]
+		m.CoreTokens[app] = one.CoreTokens[app]
+		m.FullTokens[app] = one.FullTokens[app]
+	}
+	return m, nil
+}
+
+// ModelsFor returns a single-application Models view fetched through store:
+// the app's model plus the token accounting BuildModels would compute for
+// it, so a Run over this view is byte-identical to one over the full
+// catalog view. The serving daemon calls this per session, which is what
+// lets the store's budget and LRU state decide whether the session start is
+// a warm hit, a zero-rip snapshot reload, or a fresh build.
+func ModelsFor(store *modelstore.Store, app string, workers int) (*Models, error) {
+	factory, ok := Factories()[app]
+	if !ok {
+		return nil, fmt.Errorf("agent: unknown application %q", app)
+	}
+	b, err := store.Build(app, factory, modelstore.Options{Workers: normalizeWorkers(workers)})
+	if err != nil {
+		return nil, err
+	}
+	// The token accounting is cached with the store entry, so a warm
+	// session start costs a map lookup — no re-serialization.
+	return &Models{
+		ByApp:      map[string]*describe.Model{app: b.Model},
+		CoreTokens: map[string]int{app: b.CoreTokens},
+		FullTokens: map[string]int{app: b.FullTokens},
+	}, nil
+}
+
+// SharedStore returns the process-wide store behind BuildModels, so
+// serving-shaped callers (the benchmark baseline) can route per-session
+// model fetches through it and have them show up in StoreStats.
+func SharedStore() *modelstore.Store { return sharedStore }
+
+// StoreStats reports the shared process-wide store's traffic counters
+// (warm-hit ratio, snapshot loads, resident bytes).
+func StoreStats() modelstore.Stats { return sharedStore.Stats() }
+
+// normalizeWorkers applies the default rip pool size: min(4, GOMAXPROCS).
+func normalizeWorkers(workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 		if workers > 4 {
 			workers = 4
 		}
 	}
-	m := &Models{
-		ByApp:      make(map[string]*describe.Model),
-		CoreTokens: make(map[string]int),
-		FullTokens: make(map[string]int),
-	}
-	for app, factory := range Factories() {
-		model, err := sharedStore.Model(app, factory, modelstore.Options{Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		m.ByApp[app] = model
-		m.CoreTokens[app] = describe.Tokens(model.Serialize(describe.CoreOptions()))
-		m.FullTokens[app] = describe.Tokens(model.Serialize(describe.FullOptions()))
-	}
-	return m, nil
+	return workers
 }
 
 // Run executes one task under one configuration with a deterministic RNG.

@@ -196,3 +196,27 @@ func TestRunConcurrentSharedModels(t *testing.T) {
 		}
 	}
 }
+
+// TestModelsForMatchesBuildModels: the single-app view the serving daemon
+// assembles per session must carry exactly the model and token accounting
+// the full catalog build computes, so sessions served through it are
+// byte-identical to in-process ones.
+func TestModelsForMatchesBuildModels(t *testing.T) {
+	full := sharedModels(t)
+	for _, app := range AppNames() {
+		one, err := ModelsFor(sharedStore, app, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.CoreTokens[app] != full.CoreTokens[app] || one.FullTokens[app] != full.FullTokens[app] {
+			t.Fatalf("%s: token accounting diverged: one=%d/%d full=%d/%d", app,
+				one.CoreTokens[app], one.FullTokens[app], full.CoreTokens[app], full.FullTokens[app])
+		}
+		if one.ByApp[app] == nil {
+			t.Fatalf("%s: no model in single-app view", app)
+		}
+	}
+	if _, err := ModelsFor(sharedStore, "NoSuchApp", 2); err == nil {
+		t.Fatal("unknown application did not error")
+	}
+}

@@ -89,6 +89,27 @@ func RunParallel(models *agent.Models, runs, workers int) *Report {
 	return rep
 }
 
+// SettingByLabel resolves a Table 3 row label to its matrix cell.
+func SettingByLabel(label string) (Setting, bool) {
+	for _, set := range Matrix() {
+		if set.Label == label {
+			return set, true
+		}
+	}
+	return Setting{}, false
+}
+
+// RunCell evaluates one (setting, task) grid cell: `runs` seeded
+// repetitions served from a pool of `workers` goroutines (semantics as in
+// RunParallel). The returned outcomes are exactly the slice Run produces
+// for the same cell — same RNG streams, same run order — which is the
+// contract that lets a serving daemon answer per-cell requests
+// byte-identically to the in-process evaluation (asserted by
+// TestRunCellMatchesRun and the dmi-serve integration test).
+func RunCell(models *agent.Models, set Setting, task osworld.Task, runs, workers int) []agent.Outcome {
+	return executeGrid(models, []Setting{set}, []osworld.Task{task}, runs, workers)
+}
+
 // RunSetting evaluates a single matrix cell (exported for focused benches).
 func RunSetting(models *agent.Models, set Setting, runs int) Row {
 	return RunSettingParallel(models, set, runs, 1)

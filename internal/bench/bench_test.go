@@ -299,3 +299,57 @@ func TestRunSettingParallelEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCellMatchesRun pins the serving-daemon contract: for every
+// (setting, task) cell, RunCell returns exactly the slice of outcomes the
+// full-matrix Run produced for that cell — same RNG streams, same order —
+// at any worker count.
+func TestRunCellMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	models, rep := sharedReport(t)
+	tasks := rep.Tasks
+	// Spot-check one task per app across two settings; the grid slicing is
+	// uniform, so this covers the indexing and the RNG stream derivation.
+	picked := map[string]int{}
+	for i, task := range tasks {
+		if _, ok := picked[task.App]; !ok {
+			picked[task.App] = i
+		}
+	}
+	for _, label := range []string{"GUI+DMI / GPT-5 / Medium", "GUI-only / 5-mini / Medium"} {
+		set, ok := SettingByLabel(label)
+		if !ok {
+			t.Fatalf("SettingByLabel(%q) missed", label)
+		}
+		var row Row
+		found := false
+		for _, r := range rep.Rows {
+			if r.Setting.Label == label {
+				row, found = r, true
+			}
+		}
+		if !found {
+			t.Fatalf("report lacks row %q", label)
+		}
+		for app, ti := range picked {
+			want := row.Outcomes[ti*rep.Runs : (ti+1)*rep.Runs]
+			for _, workers := range []int{1, 4} {
+				got := RunCell(models, set, tasks[ti], rep.Runs, workers)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s workers=%d: %d outcomes, want %d", label, app, workers, len(got), len(want))
+				}
+				for r := range got {
+					if got[r] != want[r] {
+						t.Fatalf("%s/%s workers=%d run %d: cell outcome %+v != Run's %+v",
+							label, app, workers, r, got[r], want[r])
+					}
+				}
+			}
+		}
+	}
+	if _, ok := SettingByLabel("No Such Setting"); ok {
+		t.Fatal("SettingByLabel invented a setting")
+	}
+}

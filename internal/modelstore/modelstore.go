@@ -4,7 +4,7 @@
 // application — while the resulting model is immutable and reusable across
 // every session of that application. The store therefore memoizes the whole
 // pipeline behind a key of application name + build-configuration
-// fingerprint, with three properties:
+// fingerprint, with four properties:
 //
 //   - Concurrency-safe singleflight: N concurrent Model calls for the same
 //     key trigger exactly one offline build; the rest block and share it.
@@ -14,6 +14,12 @@
 //   - Deterministic results: the build uses the parallel ripper, which is
 //     byte-identical to the sequential one, so cached, snapshotted, and
 //     fresh builds all yield the same identifier assignment.
+//   - Bounded residency: a serving-tier store can cap the warm working set
+//     with a byte budget (per-model cost = encoded snapshot size); the
+//     least-recently-used warm entries are evicted beyond it, in-flight
+//     builds are pinned, and Stats reports the traffic counters. Eviction
+//     drops only the in-memory entry — snapshot files stay on disk, so a
+//     persistent store reloads an evicted model with zero rip clicks.
 package modelstore
 
 import (
@@ -75,15 +81,51 @@ type Build struct {
 	// because persistence failed would be strictly worse — but callers
 	// that asked for persistence should surface this.
 	SnapshotErr error
+	// SnapshotBytes is the encoded size of the ripped graph — the build's
+	// budget cost, computed when the graph is encoded at build time or
+	// from the snapshot payload at load time. It is computed for
+	// in-memory stores too, so Stats can always report resident bytes. -1
+	// means the encoding failed and the cost is unknown; a budgeted store
+	// serves such a build without caching it.
+	SnapshotBytes int64
+	// CoreTokens and FullTokens are the LLM token costs of the model's
+	// core and full serializations — offline artifacts like the model
+	// itself, computed once per build and cached with the entry so warm
+	// session starts never re-serialize the topology.
+	CoreTokens int
+	FullTokens int
+}
+
+// Stats counts store traffic and the warm working set. All counters are
+// cumulative since construction; ResidentBytes/ResidentModels describe the
+// current cache contents.
+type Stats struct {
+	// Hits counts lookups served from memory, including callers that
+	// joined an in-flight build.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to start a build.
+	Misses int64 `json:"misses"`
+	// SnapshotLoads counts builds whose graph came from a disk snapshot
+	// (zero rip clicks spent).
+	SnapshotLoads int64 `json:"snapshot_loads"`
+	// Evictions counts warm entries dropped to fit the budget.
+	Evictions int64 `json:"evictions"`
+	// ResidentBytes is the total snapshot cost of the cached builds.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// ResidentModels is the number of cached completed builds.
+	ResidentModels int `json:"resident_models"`
 }
 
 // Store memoizes offline builds. The zero value is not usable; construct
-// with New or NewPersistent.
+// with New, NewPersistent, or NewBudgeted.
 type Store struct {
 	dir string // "" = in-memory only
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	budget  int64  // max ResidentBytes; 0 = unlimited
+	clock   uint64 // LRU clock, bumped on every lookup
+	stats   Stats
 }
 
 // entry is one singleflight slot: the first caller builds, everyone else
@@ -92,6 +134,13 @@ type entry struct {
 	ready chan struct{}
 	build Build
 	err   error
+	// building pins the entry: an in-flight build is never evicted (its
+	// cost is unknown and a waiter queue hangs off ready). A burst of
+	// concurrent builds can therefore transiently overshoot the budget;
+	// the overshoot is reclaimed as the builds complete.
+	building bool
+	cost     int64
+	used     uint64 // LRU stamp: clock value of the last touch
 }
 
 // New creates an in-memory store.
@@ -103,6 +152,46 @@ func NewPersistent(dir string) *Store {
 	s := New()
 	s.dir = dir
 	return s
+}
+
+// NewBudgeted creates a store whose warm entries hold at most budget bytes
+// of encoded graph snapshots (0 = unlimited), LRU-evicting beyond that. A
+// non-empty dir additionally persists snapshots, which makes eviction
+// cheap to undo: a re-access rebuilds from disk with zero rip clicks.
+func NewBudgeted(dir string, budget int64) *Store {
+	s := New()
+	s.dir = dir
+	s.budget = budget
+	return s
+}
+
+// SetBudget re-caps the resident bytes (0 = unlimited) and evicts
+// immediately if the working set no longer fits.
+func (s *Store) SetBudget(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget = budget
+	s.evictLocked()
+}
+
+// Budget reports the configured resident-byte cap (0 = unlimited).
+func (s *Store) Budget() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
+// Stats returns a snapshot of the traffic counters and resident set.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	for _, e := range s.entries {
+		if !e.building {
+			st.ResidentModels++
+		}
+	}
+	return st
 }
 
 // Model returns the memoized topology model for the application, building it
@@ -122,6 +211,9 @@ func (s *Store) Build(app string, factory func() *appkit.App, opt Options) (Buil
 
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		s.clock++
+		e.used = s.clock
 		s.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
@@ -131,20 +223,69 @@ func (s *Store) Build(app string, factory func() *appkit.App, opt Options) (Buil
 		b.CacheHit = true
 		return b, nil
 	}
-	e := &entry{ready: make(chan struct{})}
+	s.stats.Misses++
+	s.clock++
+	e := &entry{ready: make(chan struct{}), building: true, used: s.clock}
 	s.entries[key] = e
 	s.mu.Unlock()
 
 	e.build, e.err = s.build(app, factory, opt)
-	if e.err != nil {
-		// Failed builds are not cached: drop the slot so a later call can
-		// retry, then release the waiters.
-		s.mu.Lock()
-		delete(s.entries, key)
-		s.mu.Unlock()
+
+	s.mu.Lock()
+	// The slot may have been Invalidated (and possibly replaced) while the
+	// build ran; only account for it if it is still ours.
+	if s.entries[key] == e {
+		e.building = false
+		e.cost = e.build.SnapshotBytes
+		switch {
+		case e.err != nil:
+			// Failed builds are not cached: drop the slot so a later
+			// call can retry.
+			delete(s.entries, key)
+		case s.budget > 0 && (e.cost < 0 || e.cost > s.budget):
+			// The model alone exceeds the budget — or its cost is
+			// unknown because the encoding failed, which must not
+			// become an invisible resident: serve it to this call and
+			// its waiters, but keep nothing resident.
+			delete(s.entries, key)
+		default:
+			if e.cost < 0 {
+				e.cost = 0 // unknown cost in an unbudgeted store
+			}
+			s.stats.ResidentBytes += e.cost
+			s.evictLocked()
+		}
 	}
+	s.mu.Unlock()
 	close(e.ready)
 	return e.build, e.err
+}
+
+// evictLocked drops least-recently-used warm entries until the resident
+// bytes fit the budget. In-flight builds are pinned and skipped; if only
+// pinned entries remain the store stays transiently over budget.
+func (s *Store) evictLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.stats.ResidentBytes > s.budget {
+		victimKey := ""
+		var victim *entry
+		for k, e := range s.entries {
+			if e.building {
+				continue
+			}
+			if victim == nil || e.used < victim.used {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(s.entries, victimKey)
+		s.stats.ResidentBytes -= victim.cost
+		s.stats.Evictions++
+	}
 }
 
 // Len reports the number of completed or in-flight cached builds.
@@ -159,7 +300,13 @@ func (s *Store) Len() int {
 func (s *Store) Invalidate(app string, opt Options) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.entries, Fingerprint(app, opt))
+	key := Fingerprint(app, opt)
+	if e, ok := s.entries[key]; ok {
+		if !e.building {
+			s.stats.ResidentBytes -= e.cost
+		}
+		delete(s.entries, key)
+	}
 }
 
 // build runs the pipeline: snapshot load if available, else rip (parallel
@@ -168,9 +315,13 @@ func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Buil
 	var b Build
 
 	ripKey := RipFingerprint(app, opt.Rip)
-	if g, ok := s.loadSnapshot(ripKey); ok {
+	if g, n, ok := s.loadSnapshot(ripKey); ok {
 		b.Graph = g
 		b.FromSnapshot = true
+		b.SnapshotBytes = n
+		s.mu.Lock()
+		s.stats.SnapshotLoads++
+		s.mu.Unlock()
 	} else {
 		var err error
 		b.Graph, b.RipStats, err = ung.RipParallel(factory, opt.Rip, opt.Workers)
@@ -185,10 +336,27 @@ func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Buil
 	}
 	b.TransformStats = ts
 	b.Model = describe.NewModel(f)
+	b.CoreTokens = describe.Tokens(b.Model.Serialize(describe.CoreOptions()))
+	b.FullTokens = describe.Tokens(b.Model.Serialize(describe.FullOptions()))
 
-	if s.dir != "" && !b.FromSnapshot {
-		if err := s.saveSnapshot(ripKey, b.Graph); err != nil {
-			b.SnapshotErr = fmt.Errorf("modelstore: snapshot %s: %w", app, err)
+	if !b.FromSnapshot {
+		// Encode once: the encoding is the entry's budget cost, the
+		// resident-bytes accounting, and, for persistent stores, the
+		// snapshot payload.
+		data, err := ung.Encode(b.Graph)
+		switch {
+		case err != nil:
+			b.SnapshotBytes = -1 // cost unknown; a budget refuses to cache this
+			if s.dir != "" {
+				b.SnapshotErr = fmt.Errorf("modelstore: snapshot %s: %w", app, err)
+			}
+		default:
+			b.SnapshotBytes = int64(len(data))
+			if s.dir != "" {
+				if err := s.writeSnapshot(ripKey, data); err != nil {
+					b.SnapshotErr = fmt.Errorf("modelstore: snapshot %s: %w", app, err)
+				}
+			}
 		}
 	}
 	return b, nil
@@ -209,26 +377,22 @@ func (s *Store) snapshotPath(key string) string {
 	return filepath.Join(s.dir, string(safe)+".json")
 }
 
-func (s *Store) loadSnapshot(key string) (*ung.Graph, bool) {
+func (s *Store) loadSnapshot(key string) (*ung.Graph, int64, bool) {
 	if s.dir == "" {
-		return nil, false
+		return nil, 0, false
 	}
 	data, err := os.ReadFile(s.snapshotPath(key))
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	g, err := ung.Decode(data)
 	if err != nil {
-		return nil, false // corrupt or stale snapshot: rebuild from scratch
+		return nil, 0, false // corrupt or stale snapshot: rebuild from scratch
 	}
-	return g, true
+	return g, int64(len(data)), true
 }
 
-func (s *Store) saveSnapshot(key string, g *ung.Graph) error {
-	data, err := ung.Encode(g)
-	if err != nil {
-		return err
-	}
+func (s *Store) writeSnapshot(key string, data []byte) error {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}

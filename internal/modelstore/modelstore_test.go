@@ -68,6 +68,14 @@ func TestCacheMissThenHit(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("store holds %d entries, want 1", s.Len())
 	}
+	// Token accounting is an offline artifact too: computed at build time,
+	// carried unchanged by warm hits so sessions never re-serialize.
+	if b1.CoreTokens <= 0 || b1.FullTokens < b1.CoreTokens {
+		t.Fatalf("implausible token accounting: core=%d full=%d", b1.CoreTokens, b1.FullTokens)
+	}
+	if b2.CoreTokens != b1.CoreTokens || b2.FullTokens != b1.FullTokens {
+		t.Fatalf("warm hit changed token accounting: %+v vs %+v", b2, b1)
+	}
 }
 
 func TestDifferentFingerprintsMiss(t *testing.T) {
@@ -261,6 +269,211 @@ func TestFailedBuildsRetry(t *testing.T) {
 	// The slot was dropped, so a workable configuration succeeds on retry.
 	if _, err := s.Build("StoreDemo", storeApp, Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Budget / LRU / Stats ------------------------------------------------------
+
+// modelCost builds once in a throwaway store and reports one model's
+// encoded-snapshot cost, so budget tests can size budgets in model units.
+func modelCost(t *testing.T) int64 {
+	t.Helper()
+	b, err := New().Build("CostProbe", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SnapshotBytes <= 0 {
+		t.Fatalf("build reported no snapshot cost: %+v", b)
+	}
+	return b.SnapshotBytes
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	cost := modelCost(t)
+	dir := t.TempDir()
+	// Room for exactly two models (all test apps share one structure, so
+	// one cost fits all).
+	s := NewBudgeted(dir, 2*cost)
+
+	for _, app := range []string{"A", "B"} {
+		if _, err := s.Build(app, storeApp, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 0 || st.ResidentModels != 2 || st.ResidentBytes != 2*cost {
+		t.Fatalf("two models should fit the budget exactly: %+v", st)
+	}
+
+	// Third model: A is the least recently used and must go.
+	if _, err := s.Build("C", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Evictions != 1 || st.ResidentModels != 2 {
+		t.Fatalf("third model should evict exactly one: %+v", st)
+	}
+	if st.ResidentBytes > s.Budget() {
+		t.Fatalf("resident %d over budget %d", st.ResidentBytes, s.Budget())
+	}
+	b, err := s.Build("B", storeApp, Options{}) // B stayed warm
+	if err != nil || !b.CacheHit {
+		t.Fatalf("B should still be warm: %v %+v", err, b)
+	}
+	ba, err := s.Build("A", storeApp, Options{}) // A was evicted
+	if err != nil || ba.CacheHit {
+		t.Fatalf("A should have been evicted: %v %+v", err, ba)
+	}
+	// The eviction dropped only the memory entry: A's snapshot file is
+	// still on disk, so the reload spends zero rip clicks.
+	if !ba.FromSnapshot || ba.RipStats.Clicks != 0 {
+		t.Fatalf("evicted model should reload from snapshot with zero rip clicks: %+v", ba)
+	}
+	if st := s.Stats(); st.SnapshotLoads == 0 {
+		t.Fatalf("snapshot reload not counted: %+v", st)
+	}
+}
+
+// TestBudgetRecencyOrder: a warm hit refreshes an entry's LRU position, so
+// the next eviction picks the stale entry instead.
+func TestBudgetRecencyOrder(t *testing.T) {
+	cost := modelCost(t)
+	s := NewBudgeted(t.TempDir(), 2*cost)
+	for _, app := range []string{"A", "B"} {
+		if _, err := s.Build(app, storeApp, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch A: B becomes the LRU entry.
+	if b, err := s.Build("A", storeApp, Options{}); err != nil || !b.CacheHit {
+		t.Fatalf("warm hit expected: %v %+v", err, b)
+	}
+	if _, err := s.Build("C", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := s.Build("A", storeApp, Options{}); err != nil || !b.CacheHit {
+		t.Fatalf("recently touched A was evicted: %v %+v", err, b)
+	}
+	if b, err := s.Build("B", storeApp, Options{}); err != nil || b.CacheHit {
+		t.Fatalf("LRU entry B should have been evicted: %v %+v", err, b)
+	}
+}
+
+// TestBudgetSmallerThanOneModel: the build still succeeds and is served to
+// the caller (and any singleflight waiters), but nothing stays resident.
+func TestBudgetSmallerThanOneModel(t *testing.T) {
+	s := NewBudgeted("", 1) // in-memory: re-access must re-rip
+	b1, err := s.Build("A", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Model == nil || b1.RipStats.Clicks == 0 {
+		t.Fatalf("over-budget build incomplete: %+v", b1)
+	}
+	if st := s.Stats(); st.ResidentModels != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("over-budget model was cached: %+v", st)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store holds %d entries, want 0", s.Len())
+	}
+	b2, err := s.Build("A", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.CacheHit || b2.RipStats.Clicks == 0 {
+		t.Fatalf("re-access of an uncacheable model should rebuild: %+v", b2)
+	}
+}
+
+// TestBudgetConcurrentTightBudget hammers a budget that holds only one of
+// three models from many goroutines; run under -race. Every call must get a
+// usable model and the store must end within budget.
+func TestBudgetConcurrentTightBudget(t *testing.T) {
+	cost := modelCost(t)
+	s := NewBudgeted(t.TempDir(), cost+cost/2)
+	apps := []string{"A", "B", "C"}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				m, err := s.Model(apps[(i+j)%len(apps)], storeApp, Options{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m == nil {
+					t.Error("nil model under tight budget")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.ResidentBytes > s.Budget() {
+		t.Fatalf("resident %d over budget %d after quiescence: %+v", st.ResidentBytes, s.Budget(), st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("tight budget never evicted: %+v", st)
+	}
+	if st.Hits+st.Misses < 12*4 {
+		t.Fatalf("lookup accounting lost calls: %+v", st)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	if _, err := s.Build("A", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Build("A", storeApp, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("want 1 miss / 3 hits, got %+v", st)
+	}
+	if st.SnapshotLoads != 0 || st.Evictions != 0 {
+		t.Fatalf("in-memory unbudgeted store should neither load snapshots nor evict: %+v", st)
+	}
+	if st.ResidentModels != 1 || st.ResidentBytes <= 0 {
+		t.Fatalf("resident accounting wrong: %+v", st)
+	}
+}
+
+func TestInvalidateAdjustsResident(t *testing.T) {
+	s := New()
+	if _, err := s.Build("A", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResidentBytes <= 0 {
+		t.Fatalf("no resident bytes after build: %+v", st)
+	}
+	s.Invalidate("A", Options{})
+	if st := s.Stats(); st.ResidentBytes != 0 || st.ResidentModels != 0 {
+		t.Fatalf("invalidate left resident accounting behind: %+v", st)
+	}
+}
+
+func TestSetBudgetEvictsImmediately(t *testing.T) {
+	cost := modelCost(t)
+	s := NewPersistent(t.TempDir())
+	for _, app := range []string{"A", "B", "C"} {
+		if _, err := s.Build(app, storeApp, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetBudget(cost)
+	st := s.Stats()
+	if st.ResidentModels != 1 || st.Evictions != 2 {
+		t.Fatalf("SetBudget should shrink the working set to one model: %+v", st)
+	}
+	if st.ResidentBytes > cost {
+		t.Fatalf("resident %d over new budget %d", st.ResidentBytes, cost)
 	}
 }
 
