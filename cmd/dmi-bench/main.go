@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -76,7 +77,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "online phase: %d settings × %d tasks × %d runs (parallel=%d)…\n",
 		len(bench.Matrix()), len(osworld.All()), *runs, *parallel)
 	start := time.Now()
-	rep := bench.RunParallel(models, *runs, *parallel)
+	// The grid goes through the same Dispatcher seam the distributed
+	// coordinator uses, bound to the in-process LocalDispatcher — so the
+	// single-host path continuously proves the seam behavior-preserving
+	// (the report is byte-identical to the sequential run at any
+	// concurrency).
+	rep, err := bench.RunDispatched(context.Background(), bench.NewLocalDispatcher(models, 1), *runs, *parallel)
+	if err != nil {
+		return fmt.Errorf("online phase: %w", err)
+	}
 	elapsed := time.Since(start)
 
 	if *jsonOut != "" {

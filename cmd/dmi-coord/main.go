@@ -1,0 +1,278 @@
+// Command dmi-coord is the distributed-serving coordinator: it fans the
+// full evaluation grid (every Table 3 setting × every catalog task) out
+// across N dmi-serve replicas over the POST /session protocol and
+// aggregates the outcomes in grid order — so its report is byte-identical
+// to the in-process `dmi-bench` run, no matter which replica served which
+// cell or in what order they finished. Sessions are stateless, idempotent
+// functions of (model, task, setting, run), so a replica failure mid-run is
+// handled by re-dispatching the failed cell to a surviving replica.
+//
+// Usage:
+//
+//	dmi-coord -replicas http://a:8480,http://b:8480 [-runs 3] [-inflight 4] [-wait 3m] [-json FILE]
+//
+// The evaluation report goes to stdout (same sections, same bytes as
+// `dmi-bench`); coordination telemetry — per-replica cell counts, retries,
+// and the aggregate warm-hit ratio scraped from each replica's GET /stats —
+// goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/bench"
+	"repro/internal/modelstore"
+	"repro/internal/serveproto"
+)
+
+// errUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; main must not print it again.
+var errUsage = errors.New("invalid usage")
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given argument list and streams; main is
+// a thin exit-code shim around it so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args, stdout, stderr)
+}
+
+// runCtx is run with an explicit lifetime, the seam tests drive.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dmi-coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	replicasFlag := fs.String("replicas", "", "comma-separated dmi-serve base URLs (required)")
+	runs := fs.Int("runs", 3, "seeded repetitions per task (paper: 3)")
+	inflight := fs.Int("inflight", 4, "max cells in flight per replica")
+	// The default matches RemoteOptions' own: sized to outlast the slowest
+	// legitimate cell (max runs on a cold model), comfortably inside
+	// dmi-serve's 10-minute write-timeout hang guard — a slow-but-healthy
+	// replica must not read as a failure.
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-cell request timeout (a hung replica becomes a detected failure, not a stall)")
+	wait := fs.Duration("wait", 3*time.Minute, "how long to wait for every replica's /healthz (replicas prewarm the catalog at startup)")
+	jsonOut := fs.String("json", "", "write a machine-readable baseline (cells/sec, per-replica shares) to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage was printed, not an error
+		}
+		return errUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "dmi-coord: unexpected argument %q\n", fs.Arg(0))
+		return errUsage
+	}
+	if *replicasFlag == "" {
+		fmt.Fprintln(stderr, "dmi-coord: -replicas is required")
+		return errUsage
+	}
+	if *runs > serveproto.MaxRuns {
+		// Fail at flag parse, not after minutes of replica prewarm — every
+		// replica would reject the first cell with the same 400.
+		fmt.Fprintf(stderr, "dmi-coord: -runs %d exceeds the per-cell cap of %d\n", *runs, serveproto.MaxRuns)
+		return errUsage
+	}
+	replicas := strings.Split(*replicasFlag, ",")
+
+	rd, err := bench.NewRemoteDispatcher(replicas, bench.RemoteOptions{
+		InFlight: *inflight,
+		Client:   &http.Client{Timeout: *timeout},
+	})
+	if err != nil {
+		return fmt.Errorf("dmi-coord: %w", err)
+	}
+	if err := waitHealthy(ctx, rd.Live(), *wait, stderr); err != nil {
+		return fmt.Errorf("dmi-coord: %w", err)
+	}
+
+	cells := bench.GridCells(*runs)
+	concurrency := *inflight * len(rd.Live())
+	fmt.Fprintf(stderr, "dmi-coord: dispatching %d cells (%d settings × %d tasks, %d runs each) across %d replicas, ≤%d in flight each…\n",
+		len(cells), len(bench.Matrix()), len(cells)/len(bench.Matrix()), *runs, len(rd.Live()), *inflight)
+	start := time.Now()
+	rep, err := bench.RunDispatched(ctx, rd, *runs, concurrency)
+	if err != nil {
+		return fmt.Errorf("dmi-coord: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	// Scrape every replica that survived the run. A replica that died
+	// mid-run is tolerated — its cells were re-dispatched — but the report's
+	// token section comes from these scrapes, so losing every replica
+	// between the last cell and here is an error, not a silently wrong
+	// report.
+	stats := scrapeStats(ctx, rd.Live(), stderr)
+	tokens := map[string]int{}
+	var agg modelstore.Stats
+	for _, st := range stats {
+		agg.Hits += st.Store.Hits
+		agg.Misses += st.Store.Misses
+		if len(tokens) == 0 {
+			tokens = st.CoreTokens
+		}
+	}
+	if len(tokens) == 0 {
+		return errors.New("dmi-coord: no replica /stats reachable after the run; refusing to print a report with an empty token section")
+	}
+	warmHit := serveproto.HitRatio(agg)
+
+	// The report, byte-identical to dmi-bench's default sections.
+	rep.WriteTable3(stdout)
+	fmt.Fprintln(stdout)
+	rep.WriteFig5(stdout)
+	rep.WriteFig6(stdout)
+	fmt.Fprintln(stdout)
+	rep.WriteOneShot(stdout)
+	fmt.Fprintln(stdout)
+	rep.WriteTokens(stdout, &agent.Models{CoreTokens: tokens})
+
+	// Coordination telemetry.
+	fmt.Fprintf(stderr, "dmi-coord: %d cells in %.2fs (%.1f cells/s), %d re-dispatches, aggregate warm-hit ratio %.3f\n",
+		len(cells), elapsed.Seconds(), float64(len(cells))/elapsed.Seconds(), rd.Retries(), warmHit)
+	for _, rs := range rd.Stats() {
+		state := "live"
+		if rs.Down {
+			state = "down"
+		}
+		fmt.Fprintf(stderr, "dmi-coord:   %-28s %4d cells, %d failures, %s\n", rs.BaseURL, rs.Cells, rs.Failures, state)
+	}
+
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut, rd, *runs, *inflight, len(cells), elapsed, warmHit); err != nil {
+			return fmt.Errorf("dmi-coord: baseline: %w", err)
+		}
+		fmt.Fprintf(stderr, "dmi-coord: baseline written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// waitHealthy polls every replica's /healthz until it answers ready or the
+// deadline passes. Replicas prewarm the whole catalog before listening on
+// /healthz, so this is where the coordinator absorbs replica startup.
+func waitHealthy(ctx context.Context, replicas []string, wait time.Duration, stderr io.Writer) error {
+	deadline := time.Now().Add(wait)
+	for _, base := range replicas {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if probeHealthz(ctx, base) {
+				fmt.Fprintf(stderr, "dmi-coord: replica %s is ready\n", base)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s not healthy after %s", base, wait)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// probeClient bounds a single health probe or stats scrape so one hanging
+// connection cannot eat the whole -wait budget (waitHealthy only checks its
+// deadline between probes).
+var probeClient = &http.Client{Timeout: 5 * time.Second}
+
+func probeHealthz(ctx context.Context, base string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := probeClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var hz serveproto.Health
+	return resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&hz) == nil && hz.OK
+}
+
+// scrapeStats fetches GET /stats from each replica, skipping unreachable
+// ones with a note.
+func scrapeStats(ctx context.Context, replicas []string, stderr io.Writer) []serveproto.StatsResponse {
+	var out []serveproto.StatsResponse
+	for _, base := range replicas {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := probeClient.Do(req)
+		if err != nil {
+			fmt.Fprintf(stderr, "dmi-coord: stats scrape failed for %s: %v\n", base, err)
+			continue
+		}
+		var st serveproto.StatsResponse
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+		}
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "dmi-coord: stats scrape failed for %s: %v\n", base, err)
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// coordBaseline is the machine-readable perf record CI uploads per run
+// (BENCH_coord.json): grid fan-out throughput at a given replica count.
+// Wall-clock fields vary per host; the structure is what downstream trend
+// tooling keys on.
+type coordBaseline struct {
+	Replicas       int                  `json:"replicas"`
+	InFlight       int                  `json:"inflight"`
+	Runs           int                  `json:"runs"`
+	Cells          int                  `json:"cells"`
+	ElapsedSeconds float64              `json:"elapsed_seconds"`
+	CellsPerSecond float64              `json:"cells_per_second"`
+	Retries        int                  `json:"retries"`
+	WarmHitRatio   float64              `json:"warm_hit_ratio"`
+	PerReplica     []bench.ReplicaStats `json:"per_replica"`
+}
+
+func writeBaseline(path string, rd *bench.RemoteDispatcher, runs, inflight, cells int, elapsed time.Duration, warmHit float64) error {
+	b := coordBaseline{
+		Replicas:       len(rd.Stats()),
+		InFlight:       inflight,
+		Runs:           runs,
+		Cells:          cells,
+		ElapsedSeconds: elapsed.Seconds(),
+		Retries:        rd.Retries(),
+		WarmHitRatio:   warmHit,
+		PerReplica:     rd.Stats(),
+	}
+	if b.ElapsedSeconds > 0 {
+		b.CellsPerSecond = float64(b.Cells) / b.ElapsedSeconds
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

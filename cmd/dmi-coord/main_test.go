@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/bench"
+	"repro/internal/serveproto"
+)
+
+func TestBadFlagIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "lots"}, &out, &errb); err == nil {
+		t.Fatal("expected a flag-parse error")
+	}
+	if err := run([]string{"-replicas", "http://a:1", "stray"}, &out, &errb); err == nil {
+		t.Fatal("expected an error for a stray positional argument")
+	}
+	if err := run(nil, &out, &errb); !errors.Is(err, errUsage) {
+		t.Fatalf("missing -replicas should be a usage error, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "-replicas is required") {
+		t.Errorf("missing-replicas message absent from stderr:\n%s", errb.String())
+	}
+	if err := run([]string{"-replicas", "not-a-url"}, &out, &errb); err == nil || errors.Is(err, errUsage) {
+		t.Fatalf("bad replica URL should be a hard error, got %v", err)
+	}
+	if err := run([]string{"-replicas", "http://a:1", "-runs", fmt.Sprint(serveproto.MaxRuns + 1)}, &out, &errb); !errors.Is(err, errUsage) {
+		t.Fatalf("over-cap -runs should fail at flag parse, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "per-cell cap") {
+		t.Errorf("over-cap message absent from stderr:\n%s", errb.String())
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}
+
+func TestUnhealthyReplicaTimesOut(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var out, errb bytes.Buffer
+	err := run([]string{"-replicas", srv.URL, "-wait", "200ms"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "not healthy") {
+		t.Fatalf("never-healthy replica should fail startup, got %v", err)
+	}
+}
+
+// replica is an in-process dmi-serve stand-in speaking the serveproto
+// protocol from shared warm models, with an injectable failure point.
+type replica struct {
+	models *agent.Models
+	// failAfter starts answering 500 once this many cells were served
+	// (-1 = never) — the forced mid-run replica failure of the issue's
+	// acceptance criteria.
+	failAfter int64
+	served    atomic.Int64
+}
+
+func (rp *replica) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serveproto.Health{OK: true, Apps: len(agent.AppNames())})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serveproto.StatsResponse{
+			Sessions:   rp.served.Load(),
+			Store:      agent.StoreStats(),
+			CoreTokens: rp.models.CoreTokens,
+		})
+	})
+	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
+		if rp.failAfter >= 0 && rp.served.Load() >= rp.failAfter {
+			http.Error(w, "injected replica failure", http.StatusInternalServerError)
+			return
+		}
+		var req serveproto.SessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		set, task, err := bench.ResolveCell(bench.Cell{App: req.App, Task: req.Task, Setting: req.Setting, Runs: req.Runs})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		outcomes := bench.RunCell(rp.models, set, task, req.Runs, 1)
+		rp.served.Add(1)
+		json.NewEncoder(w).Encode(serveproto.SessionResponse{
+			App: task.App, Task: task.ID, Setting: set.Label, Runs: req.Runs, Outcomes: outcomes,
+		})
+	})
+	return mux
+}
+
+var (
+	groundOnce   sync.Once
+	groundModels *agent.Models
+	groundOut    string // dmi-bench-shaped report for runs=1
+)
+
+// groundTruth builds the in-process reference the coordinator's stdout must
+// match byte-for-byte: the same sections dmi-bench prints by default.
+func groundTruth(t *testing.T) (*agent.Models, string) {
+	t.Helper()
+	groundOnce.Do(func() {
+		models, err := agent.BuildModels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := bench.Run(models, 1)
+		var buf bytes.Buffer
+		rep.WriteTable3(&buf)
+		fmt.Fprintln(&buf)
+		rep.WriteFig5(&buf)
+		rep.WriteFig6(&buf)
+		fmt.Fprintln(&buf)
+		rep.WriteOneShot(&buf)
+		fmt.Fprintln(&buf)
+		rep.WriteTokens(&buf, models)
+		groundModels, groundOut = models, buf.String()
+	})
+	if groundModels == nil {
+		t.Fatal("ground truth unavailable")
+	}
+	return groundModels, groundOut
+}
+
+// TestCoordinatorByteIdentical is the acceptance criterion at the binary
+// boundary: dmi-coord against two replicas emits a report byte-identical to
+// the in-process bench.Run, and the baseline JSON records the fan-out.
+func TestCoordinatorByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling plus full-grid fan-out")
+	}
+	models, want := groundTruth(t)
+	a := &replica{models: models, failAfter: -1}
+	b := &replica{models: models, failAfter: -1}
+	srvA, srvB := httptest.NewServer(a.handler()), httptest.NewServer(b.handler())
+	defer srvA.Close()
+	defer srvB.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_coord.json")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-replicas", srvA.URL + "," + srvB.URL,
+		"-runs", "1",
+		"-inflight", "3",
+		"-json", jsonPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("coordinator failed: %v\nstderr:\n%s", err, errb.String())
+	}
+	if out.String() != want {
+		t.Errorf("coordinator report is not byte-identical to in-process bench.Run\n--- coord ---\n%s\n--- in-process ---\n%s",
+			out.String(), want)
+	}
+	if a.served.Load() == 0 || b.served.Load() == 0 {
+		t.Errorf("cells were not sharded across both replicas: %d vs %d", a.served.Load(), b.served.Load())
+	}
+	cells := int64(len(bench.GridCells(1)))
+	if total := a.served.Load() + b.served.Load(); total != cells {
+		t.Errorf("replicas served %d cells, want %d", total, cells)
+	}
+	for _, fragment := range []string{"cells/s", "warm-hit ratio", srvA.URL, srvB.URL, "baseline written"} {
+		if !strings.Contains(errb.String(), fragment) {
+			t.Errorf("coordination telemetry missing %q:\n%s", fragment, errb.String())
+		}
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base coordBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Replicas != 2 || base.Cells != int(cells) || base.CellsPerSecond <= 0 || base.Retries != 0 {
+		t.Errorf("baseline out of shape: %+v", base)
+	}
+	if len(base.PerReplica) != 2 || base.PerReplica[0].Cells+base.PerReplica[1].Cells != int(cells) {
+		t.Errorf("per-replica shares out of shape: %+v", base.PerReplica)
+	}
+}
+
+// TestCoordinatorSurvivesReplicaFailure forces one replica to die mid-run:
+// the coordinator must detect it, re-dispatch its cells to the survivor,
+// and still emit the byte-identical report.
+func TestCoordinatorSurvivesReplicaFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling plus full-grid fan-out")
+	}
+	models, want := groundTruth(t)
+	flaky := &replica{models: models, failAfter: 7}
+	healthy := &replica{models: models, failAfter: -1}
+	srvF, srvH := httptest.NewServer(flaky.handler()), httptest.NewServer(healthy.handler())
+	defer srvF.Close()
+	defer srvH.Close()
+
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-replicas", srvF.URL + "," + srvH.URL,
+		"-runs", "1",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("coordinator should survive one replica failure: %v\nstderr:\n%s", err, errb.String())
+	}
+	if out.String() != want {
+		t.Error("report after mid-run replica failure is not byte-identical to in-process bench.Run")
+	}
+	if !strings.Contains(errb.String(), "down") {
+		t.Errorf("telemetry should mark the failed replica down:\n%s", errb.String())
+	}
+	cells := int64(len(bench.GridCells(1)))
+	if total := flaky.served.Load() + healthy.served.Load(); total != cells {
+		t.Errorf("replicas served %d cells, want %d", total, cells)
+	}
+}

@@ -4,21 +4,28 @@
 // bytes, LRU eviction beyond the budget, snapshot files surviving eviction
 // so reloads spend zero rip clicks), then serves agent sessions over
 // HTTP/JSON from the same worker-pool seam the in-process benchmark uses —
-// responses are byte-identical to bench.Run for the same grid cell.
+// responses are byte-identical to bench.Run for the same grid cell, which
+// is what lets a dmi-coord coordinator shard the evaluation grid across N
+// replicas and still aggregate a byte-identical report.
 //
 // Usage:
 //
 //	dmi-serve [-addr host:port] [-budget BYTES] [-snapshot DIR] [-workers N] [-parallel N]
 //
-// Endpoints:
+// Endpoints (wire types in internal/serveproto):
 //
 //	POST /session  {"app","task","setting","runs"} → the cell's outcomes
 //	GET  /stats    store counters (hits, misses, snapshot loads, evictions,
 //	               resident bytes) plus serving totals and warm-hit ratio
 //	GET  /healthz  readiness (the catalog prewarm completed)
+//
+// On SIGINT or SIGTERM the daemon stops accepting connections, drains
+// in-flight sessions, and exits 0 — the clean-stop contract the
+// coordinator's failure handling is tested against.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,21 +34,31 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/bench"
 	"repro/internal/modelstore"
-	"repro/internal/osworld"
+	"repro/internal/serveproto"
 )
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
 // stderr; main must not print it again.
 var errUsage = errors.New("invalid usage")
 
-// maxRuns bounds one request's repetitions so a typo cannot park a worker
-// pool on a single cell indefinitely.
-const maxRuns = 100
+// Server hardening limits. Request bodies are tiny (serveproto caps them at
+// 64 KiB), so the read side is tight; the write side must outlast the
+// slowest legitimate session — a 100-run cell on a cold model — so it is a
+// hang guard, not a latency bound.
+const (
+	readTimeout       = 30 * time.Second
+	readHeaderTimeout = 10 * time.Second
+	writeTimeout      = 10 * time.Minute
+	idleTimeout       = 2 * time.Minute
+)
 
 func main() {
 	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
@@ -56,7 +73,17 @@ func main() {
 
 // run executes the CLI against the given argument list and streams; main is
 // a thin exit-code shim around it so tests can drive the binary in-process.
+// Shutdown signals (SIGINT/SIGTERM) cancel the serve context.
 func run(args []string, stdout, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args, stdout, stderr)
+}
+
+// runCtx is run with an explicit lifetime: when ctx is cancelled the daemon
+// stops listening, drains in-flight sessions, and returns nil. Tests drive
+// graceful shutdown through this seam.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dmi-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8480", "listen address")
@@ -86,8 +113,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("dmi-serve: %w", err)
 	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadTimeout:       readTimeout,
+		ReadHeaderTimeout: readHeaderTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	fmt.Fprintf(stderr, "dmi-serve: listening on http://%s\n", ln.Addr())
-	return http.Serve(ln, srv)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// Serve never returns nil; without a shutdown this is a real
+		// listener failure.
+		return fmt.Errorf("dmi-serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "dmi-serve: shutting down — draining in-flight sessions")
+	// Sessions are bounded (serveproto.MaxRuns), but WriteTimeout bounds
+	// only the connection's write deadline, not handler execution — so the
+	// drain needs its own deadline, sized just over the slowest legitimate
+	// session, or a wedged handler would keep a SIGTERMed replica alive
+	// until SIGKILL. Hitting the deadline exits non-zero: a failed drain
+	// must look like one.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), writeTimeout+30*time.Second)
+	defer cancelDrain()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("dmi-serve: shutdown: %w", err)
+	}
+	// Usually http.ErrServerClosed — but a real accept-loop failure can
+	// land in the same instant the signal does, and exiting 0 would mask
+	// the crash behind a "clean drain".
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("dmi-serve: %w", err)
+	}
+	fmt.Fprintln(stderr, "dmi-serve: drained, exiting")
+	return nil
 }
 
 // server is the daemon state: the budgeted store every session start goes
@@ -102,6 +165,7 @@ type server struct {
 	mu       sync.Mutex
 	sessions int64 // POST /session requests served
 	runs     int64 // outcomes returned across those requests
+	inFlight int64 // POST /session requests currently executing
 }
 
 // newServer builds the daemon and pre-warms the whole catalog through the
@@ -110,12 +174,7 @@ type server struct {
 // snapshot directory so later reloads are rip-free, and it leaves the most
 // recently warmed models resident.
 func newServer(budget int64, snapshotDir string, ripWorkers, parallel int, progress io.Writer) (*server, error) {
-	s := &server{
-		store:      modelstore.NewBudgeted(snapshotDir, budget),
-		ripWorkers: ripWorkers,
-		parallel:   parallel,
-		coreTokens: make(map[string]int),
-	}
+	s := newBareServer(modelstore.NewBudgeted(snapshotDir, budget), ripWorkers, parallel)
 	for _, app := range agent.AppNames() {
 		m, err := agent.ModelsFor(s.store, app, ripWorkers)
 		if err != nil {
@@ -127,68 +186,73 @@ func newServer(budget int64, snapshotDir string, ripWorkers, parallel int, progr
 	st := s.store.Stats()
 	fmt.Fprintf(progress, "dmi-serve: prewarm done — %d resident models, %d bytes (budget %d), %d evictions\n",
 		st.ResidentModels, st.ResidentBytes, budget, st.Evictions)
+	return s, nil
+}
 
+// newBareServer wires the handler state without prewarming; request
+// validation paths are testable through it without paying for a catalog
+// build.
+func newBareServer(store *modelstore.Store, ripWorkers, parallel int) *server {
+	s := &server{
+		store:      store,
+		ripWorkers: ripWorkers,
+		parallel:   parallel,
+		coreTokens: make(map[string]int),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux = mux
-	return s, nil
+	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// sessionRequest selects one grid cell: the task (which implies the app),
-// the matrix setting by its Table 3 label, and the repetition count.
-type sessionRequest struct {
-	App     string `json:"app"`
-	Task    string `json:"task"`
-	Setting string `json:"setting"`
-	Runs    int    `json:"runs"`
-}
-
-type sessionResponse struct {
-	App      string          `json:"app"`
-	Task     string          `json:"task"`
-	Setting  string          `json:"setting"`
-	Runs     int             `json:"runs"`
-	Outcomes []agent.Outcome `json:"outcomes"`
-}
 
 func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req sessionRequest
-	// A session request is a few short strings; refuse to buffer more.
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+	var req serveproto.SessionRequest
+	// A session request is a few short strings; refuse to buffer more. An
+	// oversize body is the client's protocol violation, reported as 413.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, serveproto.MaxRequestBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", serveproto.MaxRequestBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
-		return
-	}
-	task, ok := osworld.ByID(req.Task)
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown task %q", req.Task), http.StatusNotFound)
-		return
-	}
-	if req.App != "" && req.App != task.App {
-		http.Error(w, fmt.Sprintf("task %q belongs to %q, not %q", req.Task, task.App, req.App),
-			http.StatusBadRequest)
-		return
-	}
-	set, ok := bench.SettingByLabel(req.Setting)
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown setting %q", req.Setting), http.StatusNotFound)
 		return
 	}
 	runs := req.Runs
 	if runs <= 0 {
 		runs = 1
 	}
-	if runs > maxRuns {
-		http.Error(w, fmt.Sprintf("runs %d exceeds the %d cap", runs, maxRuns), http.StatusBadRequest)
+	if runs > serveproto.MaxRuns {
+		http.Error(w, fmt.Sprintf("runs %d exceeds the %d cap", runs, serveproto.MaxRuns), http.StatusBadRequest)
 		return
 	}
+	set, task, err := bench.ResolveCell(bench.Cell{App: req.App, Task: req.Task, Setting: req.Setting, Runs: runs})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, bench.ErrUnknownCell) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
 
 	// Every session start routes through the budgeted store: a warm hit, a
 	// zero-rip snapshot reload, or a fresh build, whatever the LRU state
@@ -207,22 +271,13 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	s.runs += int64(len(outcomes))
 	s.mu.Unlock()
 
-	writeJSON(w, sessionResponse{
+	writeJSON(w, serveproto.SessionResponse{
 		App:      task.App,
 		Task:     task.ID,
 		Setting:  set.Label,
 		Runs:     runs,
 		Outcomes: outcomes,
 	})
-}
-
-type statsResponse struct {
-	Sessions     int64            `json:"sessions"`
-	Runs         int64            `json:"runs"`
-	Store        modelstore.Stats `json:"store"`
-	WarmHitRatio float64          `json:"warm_hit_ratio"`
-	BudgetBytes  int64            `json:"budget_bytes"`
-	CoreTokens   map[string]int   `json:"core_tokens"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -232,13 +287,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.store.Stats()
 	s.mu.Lock()
-	sessions, runs := s.sessions, s.runs
+	sessions, runs, inFlight := s.sessions, s.runs, s.inFlight
 	s.mu.Unlock()
-	writeJSON(w, statsResponse{
+	writeJSON(w, serveproto.StatsResponse{
 		Sessions:     sessions,
 		Runs:         runs,
+		InFlight:     inFlight,
 		Store:        st,
-		WarmHitRatio: warmHitRatio(st),
+		WarmHitRatio: serveproto.HitRatio(st),
 		BudgetBytes:  s.store.Budget(),
 		CoreTokens:   s.coreTokens,
 	})
@@ -251,15 +307,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	// The server only exists after the prewarm succeeded, so reachable
 	// means ready.
-	writeJSON(w, map[string]any{"ok": true, "apps": len(agent.AppNames())})
-}
-
-// warmHitRatio is the fraction of store lookups served without a build.
-func warmHitRatio(st modelstore.Stats) float64 {
-	if st.Hits+st.Misses == 0 {
-		return 0
-	}
-	return float64(st.Hits) / float64(st.Hits+st.Misses)
+	writeJSON(w, serveproto.Health{OK: true, Apps: len(agent.AppNames())})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

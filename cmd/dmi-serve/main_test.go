@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"regexp"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/bench"
 	"repro/internal/modelstore"
+	"repro/internal/serveproto"
 )
 
 func TestBadFlagIsAnError(t *testing.T) {
@@ -83,8 +86,10 @@ func TestServeDaemon(t *testing.T) {
 	budget := total - 1
 	stderr := &syncBuffer{}
 	errc := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	go func() {
-		errc <- run([]string{
+		errc <- runCtx(ctx, []string{
 			"-addr", "127.0.0.1:0",
 			"-budget", fmt.Sprint(budget),
 			"-snapshot", t.TempDir(),
@@ -92,8 +97,8 @@ func TestServeDaemon(t *testing.T) {
 			"-parallel", "2",
 		}, io.Discard, stderr)
 	}()
-	// The daemon goroutine serves until the test binary exits; run()
-	// returning early means startup failed.
+	// The daemon goroutine serves until the shutdown subtest cancels ctx;
+	// runCtx returning early means startup failed.
 	addrRE := regexp.MustCompile(`listening on http://(\S+)`)
 	var base string
 	for deadline := time.Now().Add(3 * time.Minute); ; {
@@ -153,7 +158,7 @@ func TestServeDaemon(t *testing.T) {
 					posted++
 					go func(app string, ti int, label string) {
 						defer wg.Done()
-						body, _ := json.Marshal(sessionRequest{
+						body, _ := json.Marshal(serveproto.SessionRequest{
 							App: app, Task: tasks[ti].ID, Setting: label, Runs: runs,
 						})
 						resp, err := http.Post(base+"/session", "application/json", bytes.NewReader(body))
@@ -207,7 +212,7 @@ func TestServeDaemon(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var st statsResponse
+		var st serveproto.StatsResponse
 		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +260,7 @@ func TestServeDaemon(t *testing.T) {
 			{`{"task":"no-such-task","setting":"GUI+DMI / GPT-5 / Medium"}`, http.StatusNotFound},
 			{fmt.Sprintf(`{"task":%q,"setting":"no-such-setting"}`, task), http.StatusNotFound},
 			{fmt.Sprintf(`{"app":"Excel","task":%q,"setting":"GUI+DMI / GPT-5 / Medium"}`, task), http.StatusBadRequest},
-			{fmt.Sprintf(`{"task":%q,"setting":"GUI+DMI / GPT-5 / Medium","runs":%d}`, task, maxRuns+1), http.StatusBadRequest},
+			{fmt.Sprintf(`{"task":%q,"setting":"GUI+DMI / GPT-5 / Medium","runs":%d}`, task, serveproto.MaxRuns+1), http.StatusBadRequest},
 		}
 		for _, c := range cases {
 			if resp := post(c.body); resp.StatusCode != c.want {
@@ -279,6 +284,94 @@ func TestServeDaemon(t *testing.T) {
 			}
 		}
 	})
+
+	// Graceful shutdown: cancel runCtx while a session is verifiably in
+	// flight; the daemon must drain it (the POST completes with 200) and
+	// then return nil — the clean-stop contract the coordinator's failure
+	// handling relies on.
+	t.Run("graceful-drain", func(t *testing.T) {
+		task := tasks[taskIdx["Excel"]].ID
+		type result struct {
+			status int
+			got    int
+			err    error
+		}
+		resc := make(chan result, 1)
+		go func() {
+			body, _ := json.Marshal(serveproto.SessionRequest{
+				Task: task, Setting: "GUI+DMI / GPT-5 / Medium", Runs: serveproto.MaxRuns,
+			})
+			resp, err := http.Post(base+"/session", "application/json", bytes.NewReader(body))
+			if err != nil {
+				resc <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var sr serveproto.SessionResponse
+			derr := json.NewDecoder(resp.Body).Decode(&sr)
+			resc <- result{status: resp.StatusCode, got: len(sr.Outcomes), err: derr}
+		}()
+		// Wait until /stats reports the session in flight, so the cancel
+		// below races nothing.
+		for deadline := time.Now().Add(time.Minute); ; {
+			resp, err := http.Get(base + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st serveproto.StatsResponse
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if st.InFlight >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("session never showed up in flight")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("graceful shutdown should return nil, got %v", err)
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatal("daemon did not drain and exit after cancellation")
+		}
+		res := <-resc
+		if res.err != nil || res.status != http.StatusOK || res.got != serveproto.MaxRuns {
+			t.Fatalf("in-flight session was not drained: status %d, %d outcomes, err %v",
+				res.status, res.got, res.err)
+		}
+		if out := stderr.String(); !strings.Contains(out, "draining") || !strings.Contains(out, "drained, exiting") {
+			t.Errorf("shutdown log missing drain markers:\n%s", out)
+		}
+	})
+}
+
+// TestOversizeBodyIs413 pins the request-body cap: a payload over
+// serveproto.MaxRequestBytes is refused with 413, while an ordinary
+// malformed body stays a 400. Driven against a bare (unprewarmed) server —
+// both paths reject before any model is touched.
+func TestOversizeBodyIs413(t *testing.T) {
+	s := newBareServer(modelstore.New(), 1, 1)
+
+	// A syntactically valid prefix, so the decoder keeps reading until the
+	// byte cap trips rather than bailing on the first malformed character.
+	big := `{"app":"` + strings.Repeat("x", serveproto.MaxRequestBytes) + `"}`
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/session", strings.NewReader(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize body: status %d, want 413; body: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/session", strings.NewReader("{not json")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", rec.Code)
+	}
 }
 
 // TestServeUnknownAppPrewarm guards the daemon's error path without paying

@@ -23,11 +23,14 @@
 package dmi
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 
+	"repro/internal/agent"
 	"repro/internal/appkit"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/describe"
 	"repro/internal/forest"
@@ -249,6 +252,53 @@ type ScrollStatus = core.ScrollStatus
 // NewSession binds the DMI runtime to an application and its offline model.
 func NewSession(app *App, model *TopologyModel, opt ExecOptions) *Session {
 	return core.NewSession(app, model, opt)
+}
+
+// Distributed serving ----------------------------------------------------------
+
+// Dispatcher abstracts where evaluation grid cells execute: in-process over
+// warm models, or sharded across dmi-serve replicas. Implementations must
+// return exactly Cell.Runs outcomes in run order — the idempotent cell
+// contract that makes re-dispatch after a replica failure safe.
+type Dispatcher = bench.Dispatcher
+
+// GridCell is one serializable (setting, task, runs) job unit of the
+// evaluation grid — the body of a dmi-serve POST /session.
+type GridCell = bench.Cell
+
+// AgentOutcome is the result of one task run — what a Dispatcher returns
+// per repetition.
+type AgentOutcome = agent.Outcome
+
+// BenchReport is the aggregated evaluation output (Table 3, Figures 5/6,
+// one-shot and token statistics).
+type BenchReport = bench.Report
+
+// RemoteDispatcher shards cells across dmi-serve replicas with per-replica
+// in-flight caps, failure detection, and re-dispatch of failed cells.
+type RemoteDispatcher = bench.RemoteDispatcher
+
+// RemoteOptions tunes a RemoteDispatcher (per-replica in-flight cap, HTTP
+// client).
+type RemoteOptions = bench.RemoteOptions
+
+// NewRemoteDispatcher validates the replica base URLs and builds a
+// dispatcher over them.
+func NewRemoteDispatcher(replicas []string, opt RemoteOptions) (*RemoteDispatcher, error) {
+	return bench.NewRemoteDispatcher(replicas, opt)
+}
+
+// EvalGridCells enumerates the full evaluation grid in the canonical grid
+// order every dispatcher-backed run aggregates in.
+func EvalGridCells(runs int) []GridCell { return bench.GridCells(runs) }
+
+// RunDistributed executes the full evaluation grid through a dispatcher
+// with up to `concurrency` cells in flight, aggregating outcomes in grid
+// order — the report is byte-identical to the in-process evaluation
+// whenever the dispatcher honors the cell contract. This is the
+// programmatic form of the dmi-coord CLI.
+func RunDistributed(ctx context.Context, d Dispatcher, runs, concurrency int) (*BenchReport, error) {
+	return bench.RunDispatched(ctx, d, runs, concurrency)
 }
 
 // Access builds a control-access command.

@@ -1,6 +1,7 @@
 package dmi_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -212,4 +213,52 @@ func TestBudgetedModelStorePublicAPI(t *testing.T) {
 	if got := store.Stats(); got.SnapshotLoads < 1 {
 		t.Fatalf("snapshot reload not counted: %+v", got)
 	}
+}
+
+// TestDistributedServingSeam exercises the public dispatcher surface as a
+// downstream coordinator would: enumerate the grid, implement a Dispatcher,
+// run it, and get an aggregated report — no internal packages needed.
+func TestDistributedServingSeam(t *testing.T) {
+	cells := dmi.EvalGridCells(2)
+	if len(cells) == 0 {
+		t.Fatal("empty evaluation grid")
+	}
+	for _, cell := range cells {
+		if cell.Runs != 2 || cell.Task == "" || cell.Setting == "" || cell.App == "" {
+			t.Fatalf("malformed grid cell: %+v", cell)
+		}
+	}
+
+	// A custom dispatcher that "solves" every run in one step — the report
+	// must aggregate it in grid order through the public seam.
+	rep, err := dmi.RunDistributed(context.Background(), succeedAll{}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 2 || len(rep.Rows) == 0 {
+		t.Fatalf("report out of shape: runs=%d rows=%d", rep.Runs, len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.SR != 1 {
+			t.Fatalf("row %q SR = %v, want 1 from the all-success dispatcher", row.Setting.Label, row.SR)
+		}
+	}
+
+	if _, err := dmi.NewRemoteDispatcher(nil, dmi.RemoteOptions{}); err == nil {
+		t.Fatal("empty replica list must be rejected")
+	}
+	if _, err := dmi.NewRemoteDispatcher([]string{"http://replica-a:8480"}, dmi.RemoteOptions{}); err != nil {
+		t.Fatalf("valid replica list rejected: %v", err)
+	}
+}
+
+// succeedAll is a trivial public Dispatcher implementation.
+type succeedAll struct{}
+
+func (succeedAll) Dispatch(ctx context.Context, cell dmi.GridCell) ([]dmi.AgentOutcome, error) {
+	out := make([]dmi.AgentOutcome, cell.Runs)
+	for i := range out {
+		out[i] = dmi.AgentOutcome{Task: cell.Task, Success: true, Steps: 4, CoreSteps: 1, OneShot: true}
+	}
+	return out, nil
 }

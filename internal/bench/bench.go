@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -69,22 +70,23 @@ func Run(models *agent.Models, runs int) *Report {
 	return RunParallel(models, runs, 1)
 }
 
-// RunParallel is Run served from a worker pool: the (setting, task, run)
-// grid fans out over `workers` goroutines that all share the warm
+// RunParallel is Run served from a worker pool: the evaluation grid fans
+// out over `workers` concurrently dispatched cells that all share the warm
 // describe.Models — the "computer as server" posture where many concurrent
-// sessions multiplex one offline model. Every run owns its RNG stream and
-// its own application instance, so runs are independent; outcomes are
-// collected in grid order and aggregated sequentially, which makes the
-// parallel Report byte-identical to the sequential one. workers <= 1 runs
-// in-line; workers <= 0 uses GOMAXPROCS.
+// sessions multiplex one offline model. It is RunDispatched over a
+// LocalDispatcher: the same seam that ships cells to remote replicas, bound
+// to this process's goroutine pool. Every run owns its RNG stream and its
+// own application instance, so runs are independent; outcomes are collected
+// in grid order and aggregated sequentially, which makes the parallel
+// Report byte-identical to the sequential one. workers <= 1 runs in-line;
+// workers <= 0 uses GOMAXPROCS.
 func RunParallel(models *agent.Models, runs, workers int) *Report {
-	settings := Matrix()
-	tasks := osworld.All()
-	outcomes := executeGrid(models, settings, tasks, runs, workers)
-	rep := &Report{Runs: runs, Tasks: tasks}
-	per := len(tasks) * runs
-	for i, set := range settings {
-		rep.Rows = append(rep.Rows, aggregate(set, tasks, runs, outcomes[i*per:(i+1)*per]))
+	rep, err := RunDispatched(context.Background(), NewLocalDispatcher(models, 1), runs, workers)
+	if err != nil {
+		// The grid is enumerated from the matrix and the catalog themselves
+		// and local dispatch has no transport, so an error here is a
+		// programming bug, not a runtime condition.
+		panic(fmt.Sprintf("bench: local dispatch failed: %v", err))
 	}
 	return rep
 }

@@ -1,0 +1,465 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/osworld"
+	"repro/internal/serveproto"
+)
+
+// Cell is one serializable job unit of the evaluation grid: a (setting,
+// task) pair with its repetition count. Everything in it is a string or an
+// int, so a cell crosses process boundaries as-is — it is the body of the
+// daemon's POST /session. A cell's outcomes are a pure function of the cell
+// (the RNG streams derive from setting, task, and run index alone, and the
+// offline models are read-only), which makes dispatching idempotent:
+// re-running a cell anywhere produces the same bytes.
+type Cell struct {
+	App     string `json:"app"`
+	Task    string `json:"task"`
+	Setting string `json:"setting"`
+	Runs    int    `json:"runs"`
+}
+
+// Dispatcher abstracts where a grid cell executes. LocalDispatcher runs it
+// on this process's warm models; RemoteDispatcher ships it to a dmi-serve
+// replica. Dispatch must return exactly cell.Runs outcomes in run order —
+// the same slice bench.Run produces for the cell — or an error; it must be
+// safe for concurrent use, because RunDispatched fans cells out over a pool.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, cell Cell) ([]agent.Outcome, error)
+}
+
+// GridCells enumerates the full evaluation grid in grid order
+// (settings-major over the Table 3 matrix, then tasks): the canonical cell
+// sequence every dispatcher-backed run fans out and every aggregation
+// depends on.
+func GridCells(runs int) []Cell {
+	settings := Matrix()
+	tasks := osworld.All()
+	cells := make([]Cell, 0, len(settings)*len(tasks))
+	for _, set := range settings {
+		for _, task := range tasks {
+			cells = append(cells, Cell{App: task.App, Task: task.ID, Setting: set.Label, Runs: runs})
+		}
+	}
+	return cells
+}
+
+// ErrUnknownCell marks a cell that names a task or setting outside the
+// catalog/matrix — a lookup miss, as opposed to a malformed cell. The
+// serving daemon maps it to 404 versus 400.
+var ErrUnknownCell = errors.New("unknown")
+
+// ResolveCell validates a cell against the catalog and the matrix. It is
+// the shared gate: the local dispatcher uses it before executing, and the
+// serving daemon applies the same checks to inbound requests.
+func ResolveCell(cell Cell) (Setting, osworld.Task, error) {
+	task, ok := osworld.ByID(cell.Task)
+	if !ok {
+		return Setting{}, osworld.Task{}, fmt.Errorf("%w task %q", ErrUnknownCell, cell.Task)
+	}
+	if cell.App != "" && cell.App != task.App {
+		return Setting{}, osworld.Task{}, fmt.Errorf("task %q belongs to %q, not %q", cell.Task, task.App, cell.App)
+	}
+	set, ok := SettingByLabel(cell.Setting)
+	if !ok {
+		return Setting{}, osworld.Task{}, fmt.Errorf("%w setting %q", ErrUnknownCell, cell.Setting)
+	}
+	if cell.Runs <= 0 {
+		return Setting{}, osworld.Task{}, fmt.Errorf("runs %d must be positive", cell.Runs)
+	}
+	return set, task, nil
+}
+
+// LocalDispatcher executes cells in-process over the shared warm models —
+// the same executeGrid worker pool RunParallel always used, now behind the
+// seam. workers sizes the per-cell session pool (1 = each cell's runs are
+// sequential; cross-cell concurrency comes from RunDispatched).
+type LocalDispatcher struct {
+	models  *agent.Models
+	workers int
+}
+
+// NewLocalDispatcher wraps warm models as a dispatcher. workers <= 1 runs a
+// cell's repetitions sequentially.
+func NewLocalDispatcher(models *agent.Models, workers int) *LocalDispatcher {
+	return &LocalDispatcher{models: models, workers: workers}
+}
+
+// Dispatch runs the cell through RunCell: same RNG streams, same run order,
+// byte-identical to the slice bench.Run produces for the cell.
+func (d *LocalDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	set, task, err := ResolveCell(cell)
+	if err != nil {
+		return nil, err
+	}
+	return RunCell(d.models, set, task, cell.Runs, d.workers), nil
+}
+
+// RunDispatched executes the full evaluation grid through a dispatcher with
+// up to `concurrency` cells in flight (<= 0 uses GOMAXPROCS), collects the
+// outcomes in grid order, and aggregates them sequentially — so the Report
+// is byte-identical to the in-process Run whenever the dispatcher honors
+// the cell contract, regardless of which replica ran which cell or in what
+// order they finished. The first dispatch error cancels the remaining cells
+// and is returned.
+func RunDispatched(ctx context.Context, d Dispatcher, runs, concurrency int) (*Report, error) {
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	settings := Matrix()
+	tasks := osworld.All()
+	var cells []Cell
+	if runs > 0 {
+		// runs <= 0 dispatches nothing and aggregates an empty report —
+		// the same zeroed rows the pre-dispatcher executeGrid produced.
+		cells = GridCells(runs)
+	}
+	out := make([][]agent.Outcome, len(cells))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	dispatch := func(i int) {
+		cell := cells[i]
+		outcomes, err := d.Dispatch(ctx, cell)
+		if err != nil {
+			fail(fmt.Errorf("dispatch %s/%s: %w", cell.Setting, cell.Task, err))
+			return
+		}
+		if len(outcomes) != cell.Runs {
+			fail(fmt.Errorf("dispatch %s/%s: %d outcomes for %d runs", cell.Setting, cell.Task, len(outcomes), cell.Runs))
+			return
+		}
+		out[i] = outcomes
+	}
+
+	if concurrency == 1 || len(cells) <= 1 {
+		for i := range cells {
+			if ctx.Err() != nil {
+				break
+			}
+			dispatch(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					dispatch(i)
+				}
+			}()
+		}
+	feed:
+		for i := range cells {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	flat := make([]agent.Outcome, 0, len(cells)*runs)
+	for _, outcomes := range out {
+		flat = append(flat, outcomes...)
+	}
+	rep := &Report{Runs: runs, Tasks: tasks}
+	per := 0
+	if runs > 0 {
+		per = len(tasks) * runs
+	}
+	for i, set := range settings {
+		rep.Rows = append(rep.Rows, aggregate(set, tasks, runs, flat[i*per:(i+1)*per]))
+	}
+	return rep, nil
+}
+
+// Remote dispatch --------------------------------------------------------------
+
+// ReplicaStats is one replica's share of a dispatched run.
+type ReplicaStats struct {
+	BaseURL  string `json:"base_url"`
+	Cells    int    `json:"cells"`    // cells served successfully
+	Failures int    `json:"failures"` // dispatch attempts that failed here
+	Down     bool   `json:"down"`     // failure detection tripped; no longer picked
+}
+
+// RemoteOptions tunes a RemoteDispatcher.
+type RemoteOptions struct {
+	// InFlight caps concurrent cells per replica (default 4). The cap is
+	// what keeps a fast coordinator from flooding a small replica: excess
+	// dispatches queue on the least-loaded live replica's slot.
+	InFlight int
+	// Client issues the requests. The default carries a 5-minute timeout —
+	// a hung replica must become a detected failure, never an indefinite
+	// stall — sized to outlast the slowest legitimate cell (a max-runs
+	// request against a cold model). Supply your own client to tighten it.
+	Client *http.Client
+}
+
+// RemoteDispatcher shards cells across N dmi-serve replicas over the
+// HTTP/JSON POST /session protocol. Each dispatch picks the least-loaded
+// live replica, bounded by the per-replica in-flight cap. A transport
+// error, a 5xx, or a malformed response marks the replica down and the cell
+// is re-dispatched to another replica — safe because cells are idempotent
+// (see Cell). A 4xx is the request's fault, not the replica's: it is
+// returned immediately without marking anything down, since every replica
+// would reject it identically.
+type RemoteDispatcher struct {
+	replicas []*replica
+	client   *http.Client
+
+	mu      sync.Mutex
+	retries int // cells re-dispatched after a replica failure
+}
+
+// replica is one backend's dispatch state.
+type replica struct {
+	base string
+	slot chan struct{} // in-flight cap
+
+	mu       sync.Mutex
+	down     bool
+	cells    int
+	failures int
+}
+
+// NewRemoteDispatcher validates the replica list and builds a dispatcher.
+func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatcher, error) {
+	if len(baseURLs) == 0 {
+		return nil, errors.New("bench: remote dispatcher needs at least one replica")
+	}
+	inflight := opt.InFlight
+	if inflight <= 0 {
+		inflight = 4
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	d := &RemoteDispatcher{client: client}
+	seen := make(map[string]bool)
+	for _, raw := range baseURLs {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if base == "" {
+			return nil, fmt.Errorf("bench: empty replica URL in %q", strings.Join(baseURLs, ","))
+		}
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			return nil, fmt.Errorf("bench: replica %q is not an http(s) base URL", raw)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("bench: duplicate replica %q", base)
+		}
+		seen[base] = true
+		d.replicas = append(d.replicas, &replica{base: base, slot: make(chan struct{}, inflight)})
+	}
+	return d, nil
+}
+
+// Dispatch ships the cell to a live replica, re-dispatching on replica
+// failure until a replica answers or none are left.
+func (d *RemoteDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
+	if cell.Runs <= 0 {
+		// The daemon would coerce runs<=0 to 1 and the response would then
+		// fail the cell contract, reading as a replica failure — reject the
+		// cell before it can down-mark healthy replicas.
+		return nil, fmt.Errorf("runs %d must be positive", cell.Runs)
+	}
+	tried := make(map[*replica]bool)
+	var failures []error
+	for {
+		rep := d.pick(tried)
+		if rep == nil {
+			if len(failures) == 0 {
+				return nil, errors.New("no live replicas")
+			}
+			return nil, fmt.Errorf("all replicas failed: %w", errors.Join(failures...))
+		}
+		select {
+		case rep.slot <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		// Another dispatch may have down-marked this replica while we
+		// waited for a slot; posting anyway would burn a full client
+		// timeout against a known-dead backend while live replicas idle.
+		rep.mu.Lock()
+		down := rep.down
+		rep.mu.Unlock()
+		if down {
+			<-rep.slot
+			continue // pick() skips down replicas
+		}
+		outcomes, err := d.post(ctx, rep, cell)
+		<-rep.slot
+		if err == nil {
+			rep.mu.Lock()
+			rep.cells++
+			rep.mu.Unlock()
+			if len(failures) > 0 {
+				d.mu.Lock()
+				d.retries += len(failures)
+				d.mu.Unlock()
+			}
+			return outcomes, nil
+		}
+		if ctx.Err() != nil {
+			// The run was cancelled; the replica is not to blame.
+			return nil, ctx.Err()
+		}
+		var bad *requestError
+		if errors.As(err, &bad) {
+			// The cell itself is invalid; every replica would agree.
+			return nil, err
+		}
+		// Failure detection: stop picking this replica and try another.
+		rep.mu.Lock()
+		rep.failures++
+		rep.down = true
+		rep.mu.Unlock()
+		tried[rep] = true
+		failures = append(failures, fmt.Errorf("%s: %w", rep.base, err))
+	}
+}
+
+// pick returns the live, not-yet-tried replica with the fewest cells in
+// flight, or nil when none remain.
+func (d *RemoteDispatcher) pick(tried map[*replica]bool) *replica {
+	var best *replica
+	bestLoad := 0
+	for _, rep := range d.replicas {
+		if tried[rep] {
+			continue
+		}
+		rep.mu.Lock()
+		down := rep.down
+		rep.mu.Unlock()
+		if down {
+			continue
+		}
+		load := len(rep.slot)
+		if best == nil || load < bestLoad {
+			best, bestLoad = rep, load
+		}
+	}
+	return best
+}
+
+// requestError marks a 4xx: the request is at fault, so re-dispatching the
+// cell to another replica cannot help.
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }
+
+// post runs one POST /session round trip and validates the response against
+// the cell contract.
+func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([]agent.Outcome, error) {
+	body, err := json.Marshal(serveproto.SessionRequest{
+		App: cell.App, Task: cell.Task, Setting: cell.Setting, Runs: cell.Runs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+"/session", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		msg := fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &requestError{msg: msg}
+		}
+		return nil, errors.New(msg)
+	}
+	var sr serveproto.SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("malformed response: %w", err)
+	}
+	if sr.Task != cell.Task || sr.Setting != cell.Setting || len(sr.Outcomes) != cell.Runs {
+		return nil, fmt.Errorf("response echoes (%q,%q,%d outcomes), want (%q,%q,%d)",
+			sr.Task, sr.Setting, len(sr.Outcomes), cell.Task, cell.Setting, cell.Runs)
+	}
+	return sr.Outcomes, nil
+}
+
+// Retries reports how many re-dispatch attempts followed replica failures
+// across the run.
+func (d *RemoteDispatcher) Retries() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retries
+}
+
+// Stats snapshots every replica's share of the run, in replica-list order.
+func (d *RemoteDispatcher) Stats() []ReplicaStats {
+	out := make([]ReplicaStats, len(d.replicas))
+	for i, rep := range d.replicas {
+		rep.mu.Lock()
+		out[i] = ReplicaStats{BaseURL: rep.base, Cells: rep.cells, Failures: rep.failures, Down: rep.down}
+		rep.mu.Unlock()
+	}
+	return out
+}
+
+// Live returns the base URLs of replicas not marked down, in replica-list
+// order.
+func (d *RemoteDispatcher) Live() []string {
+	var live []string
+	for _, rep := range d.replicas {
+		rep.mu.Lock()
+		if !rep.down {
+			live = append(live, rep.base)
+		}
+		rep.mu.Unlock()
+	}
+	return live
+}

@@ -1,0 +1,431 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/osworld"
+	"repro/internal/serveproto"
+)
+
+// TestGridCells pins the canonical cell enumeration every dispatcher-backed
+// run and every aggregation depend on: settings-major over the matrix, then
+// tasks in catalog order.
+func TestGridCells(t *testing.T) {
+	runs := 3
+	cells := GridCells(runs)
+	settings, tasks := Matrix(), osworld.All()
+	if len(cells) != len(settings)*len(tasks) {
+		t.Fatalf("%d cells, want %d", len(cells), len(settings)*len(tasks))
+	}
+	for i, cell := range cells {
+		set, task := settings[i/len(tasks)], tasks[i%len(tasks)]
+		want := Cell{App: task.App, Task: task.ID, Setting: set.Label, Runs: runs}
+		if cell != want {
+			t.Fatalf("cell %d = %+v, want %+v", i, cell, want)
+		}
+	}
+}
+
+// TestResolveCell covers the shared validation gate.
+func TestResolveCell(t *testing.T) {
+	task := osworld.All()[0]
+	label := Matrix()[0].Label
+	if _, _, err := ResolveCell(Cell{Task: task.ID, Setting: label, Runs: 1}); err != nil {
+		t.Fatalf("valid cell rejected: %v", err)
+	}
+	cases := []struct {
+		cell    Cell
+		unknown bool
+	}{
+		{Cell{Task: "no-such-task", Setting: label, Runs: 1}, true},
+		{Cell{Task: task.ID, Setting: "no-such-setting", Runs: 1}, true},
+		{Cell{App: "WrongApp", Task: task.ID, Setting: label, Runs: 1}, false},
+		{Cell{Task: task.ID, Setting: label, Runs: 0}, false},
+	}
+	for _, c := range cases {
+		_, _, err := ResolveCell(c.cell)
+		if err == nil {
+			t.Errorf("ResolveCell(%+v) accepted an invalid cell", c.cell)
+			continue
+		}
+		if got := errors.Is(err, ErrUnknownCell); got != c.unknown {
+			t.Errorf("ResolveCell(%+v): ErrUnknownCell = %v, want %v (err %v)", c.cell, got, c.unknown, err)
+		}
+	}
+}
+
+// fakeDispatcher adapts a function to the Dispatcher interface for
+// model-free plumbing tests.
+type fakeDispatcher func(ctx context.Context, cell Cell) ([]agent.Outcome, error)
+
+func (f fakeDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
+	return f(ctx, cell)
+}
+
+// TestRunDispatchedPlumbing exercises the orchestration layer without
+// models: cancellation, error propagation with cancellation of the
+// remaining cells, and the runs-count contract.
+func TestRunDispatchedPlumbing(t *testing.T) {
+	t.Run("pre-cancelled context", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		called := false
+		_, err := RunDispatched(ctx, fakeDispatcher(func(context.Context, Cell) ([]agent.Outcome, error) {
+			called = true
+			return nil, nil
+		}), 1, 1)
+		if err == nil {
+			t.Fatal("cancelled run must error")
+		}
+		if called {
+			t.Error("no cell should dispatch after cancellation")
+		}
+	})
+	t.Run("first error cancels the rest", func(t *testing.T) {
+		var dispatched atomic.Int64
+		boom := errors.New("boom")
+		_, err := RunDispatched(context.Background(), fakeDispatcher(func(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
+			dispatched.Add(1)
+			return nil, boom
+		}), 1, 4)
+		if !errors.Is(err, boom) {
+			t.Fatalf("error not propagated: %v", err)
+		}
+		if n, total := dispatched.Load(), int64(len(GridCells(1))); n >= total {
+			t.Errorf("cancellation never stopped the fan-out: %d of %d cells dispatched", n, total)
+		}
+	})
+	t.Run("non-positive runs dispatch nothing", func(t *testing.T) {
+		// The pre-dispatcher executeGrid produced zero jobs and zeroed
+		// rows for runs<=0; the seam must preserve that instead of
+		// erroring or panicking.
+		for _, runs := range []int{0, -3} {
+			called := false
+			rep, err := RunDispatched(context.Background(), fakeDispatcher(func(context.Context, Cell) ([]agent.Outcome, error) {
+				called = true
+				return nil, errors.New("no cell should dispatch")
+			}), runs, 4)
+			if err != nil {
+				t.Fatalf("runs=%d: %v", runs, err)
+			}
+			if called {
+				t.Errorf("runs=%d dispatched a cell", runs)
+			}
+			if len(rep.Rows) != len(Matrix()) || rep.Rows[0].Total != 0 {
+				t.Errorf("runs=%d: report rows out of shape: %d rows, total %d",
+					runs, len(rep.Rows), rep.Rows[0].Total)
+			}
+		}
+	})
+	t.Run("wrong outcome count is an error", func(t *testing.T) {
+		_, err := RunDispatched(context.Background(), fakeDispatcher(func(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
+			return make([]agent.Outcome, cell.Runs+1), nil
+		}), 2, 1)
+		if err == nil || !strings.Contains(err.Error(), "outcomes for") {
+			t.Fatalf("short/long outcome slices must fail the run, got %v", err)
+		}
+	})
+}
+
+// testReplica is an httptest-backed dmi-serve stand-in: it answers
+// POST /session from the shared in-process models through the same
+// ResolveCell + RunCell path the daemon uses, with injectable failure
+// modes.
+type testReplica struct {
+	models *agent.Models
+	// failAfter starts answering 500 once this many cells have been
+	// served (-1 = never fail).
+	failAfter int64
+	// hang blocks every request until release is closed instead of
+	// answering — the wedged-replica case the client timeout must catch.
+	// (The request context is not reliable here: with an unread body the
+	// server may never notice the client abort, and httptest.Server.Close
+	// would wait on the wedged handlers forever.)
+	hang    bool
+	release chan struct{}
+
+	served atomic.Int64 // successful cells
+	failed atomic.Int64 // injected failures
+}
+
+func (tr *testReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tr.hang {
+		select {
+		case <-r.Context().Done():
+		case <-tr.release:
+		}
+		return
+	}
+	if tr.failAfter >= 0 && tr.served.Load() >= tr.failAfter {
+		tr.failed.Add(1)
+		http.Error(w, "injected replica failure", http.StatusInternalServerError)
+		return
+	}
+	var req serveproto.SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cell := Cell{App: req.App, Task: req.Task, Setting: req.Setting, Runs: req.Runs}
+	set, task, err := ResolveCell(cell)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownCell) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	outcomes := RunCell(tr.models, set, task, cell.Runs, 1)
+	tr.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(serveproto.SessionResponse{
+		App: task.App, Task: task.ID, Setting: set.Label, Runs: cell.Runs, Outcomes: outcomes,
+	})
+}
+
+// startReplicas spins n healthy test replicas plus any custom ones and
+// returns their base URLs.
+func startReplicas(t *testing.T, replicas ...*testReplica) []string {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, tr := range replicas {
+		srv := httptest.NewServer(tr)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// TestRunDispatchedLocalEquivalence is the behavior-preservation proof for
+// the tentpole refactor: the dispatcher-routed run renders byte-identically
+// to the sequential Run and matches it outcome-for-outcome.
+func TestRunDispatchedLocalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	models, rep := sharedReport(t)
+	seq := renderAll(models, rep)
+	for _, concurrency := range []int{1, 8} {
+		got, err := RunDispatched(context.Background(), NewLocalDispatcher(models, 1), 3, concurrency)
+		if err != nil {
+			t.Fatalf("concurrency=%d: %v", concurrency, err)
+		}
+		if rendered := renderAll(models, got); rendered != seq {
+			t.Fatalf("concurrency=%d: dispatched report differs from sequential", concurrency)
+		}
+		for i := range rep.Rows {
+			for j, o := range rep.Rows[i].Outcomes {
+				if got.Rows[i].Outcomes[j] != o {
+					t.Fatalf("concurrency=%d row %d outcome %d: %+v != %+v",
+						concurrency, i, j, got.Rows[i].Outcomes[j], o)
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteDispatcherEquivalence: two healthy replicas, full grid — the
+// remote report must be byte-identical to the sequential in-process one,
+// with cells actually sharded across both backends and zero retries.
+func TestRemoteDispatcherEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation over HTTP")
+	}
+	models, rep := sharedReport(t)
+	a := &testReplica{models: models, failAfter: -1}
+	b := &testReplica{models: models, failAfter: -1}
+	rd, err := NewRemoteDispatcher(startReplicas(t, a, b), RemoteOptions{InFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDispatched(context.Background(), rd, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(models, got) != renderAll(models, rep) {
+		t.Fatal("remote report differs from sequential in-process run")
+	}
+	cells := int64(len(GridCells(3)))
+	if a.served.Load()+b.served.Load() != cells {
+		t.Errorf("replicas served %d+%d cells, want %d total", a.served.Load(), b.served.Load(), cells)
+	}
+	if a.served.Load() == 0 || b.served.Load() == 0 {
+		t.Errorf("sharding is lopsided: %d vs %d cells", a.served.Load(), b.served.Load())
+	}
+	if rd.Retries() != 0 {
+		t.Errorf("healthy replicas produced %d retries", rd.Retries())
+	}
+	if live := rd.Live(); len(live) != 2 {
+		t.Errorf("both replicas should stay live, got %v", live)
+	}
+}
+
+// TestRemoteDispatcherFailover is the remote failure path of the issue: a
+// replica that errors mid-grid is detected, its cells are re-dispatched to
+// the surviving replica, and the final report still matches the sequential
+// one byte-for-byte (CI runs this under -race).
+func TestRemoteDispatcherFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation over HTTP")
+	}
+	models, rep := sharedReport(t)
+	flaky := &testReplica{models: models, failAfter: 10} // dies after 10 cells
+	healthy := &testReplica{models: models, failAfter: -1}
+	rd, err := NewRemoteDispatcher(startReplicas(t, flaky, healthy), RemoteOptions{InFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDispatched(context.Background(), rd, 3, 8)
+	if err != nil {
+		t.Fatalf("failover should absorb the replica failure: %v", err)
+	}
+	if renderAll(models, got) != renderAll(models, rep) {
+		t.Fatal("report after mid-grid failover differs from sequential in-process run")
+	}
+	for i := range rep.Rows {
+		for j, o := range rep.Rows[i].Outcomes {
+			if got.Rows[i].Outcomes[j] != o {
+				t.Fatalf("row %d outcome %d diverged after failover: %+v != %+v",
+					i, j, got.Rows[i].Outcomes[j], o)
+			}
+		}
+	}
+	if rd.Retries() < 1 {
+		t.Error("the failed cell was never counted as a re-dispatch")
+	}
+	cells := int64(len(GridCells(3)))
+	if total := flaky.served.Load() + healthy.served.Load(); total != cells {
+		t.Errorf("replicas served %d cells, want %d", total, cells)
+	}
+	stats := rd.Stats()
+	if !stats[0].Down || stats[0].Failures < 1 {
+		t.Errorf("flaky replica not detected as down: %+v", stats[0])
+	}
+	if stats[1].Down {
+		t.Errorf("healthy replica wrongly marked down: %+v", stats[1])
+	}
+	if live := rd.Live(); len(live) != 1 {
+		t.Errorf("exactly one replica should survive, got %v", live)
+	}
+}
+
+// TestRemoteDispatcherHangingReplica: a wedged replica (accepts, never
+// answers) must be timed out by the client, marked down, and its cells
+// re-dispatched — the report still matches.
+func TestRemoteDispatcherHangingReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation over HTTP")
+	}
+	models, rep := sharedReport(t)
+	hung := &testReplica{models: models, hang: true, release: make(chan struct{})}
+	// Unblock the wedged handlers before the t.Cleanup server shutdowns
+	// run (defers fire first), so Close doesn't wait on them.
+	defer close(hung.release)
+	healthy := &testReplica{models: models, failAfter: -1}
+	rd, err := NewRemoteDispatcher(startReplicas(t, hung, healthy), RemoteOptions{
+		InFlight: 4,
+		Client:   &http.Client{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDispatched(context.Background(), rd, 3, 8)
+	if err != nil {
+		t.Fatalf("hang detection should absorb the wedged replica: %v", err)
+	}
+	if renderAll(models, got) != renderAll(models, rep) {
+		t.Fatal("report after hang failover differs from sequential in-process run")
+	}
+	if rd.Retries() < 1 {
+		t.Error("timed-out cells were never re-dispatched")
+	}
+	if stats := rd.Stats(); !stats[0].Down {
+		t.Errorf("hung replica not marked down: %+v", stats[0])
+	}
+}
+
+// TestRemoteDispatcherAllDown: when every replica fails the run errors out
+// instead of spinning.
+func TestRemoteDispatcherAllDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid fan-out over HTTP")
+	}
+	models, _ := sharedReport(t)
+	dead := &testReplica{models: models, failAfter: 0}
+	rd, err := NewRemoteDispatcher(startReplicas(t, dead), RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDispatched(context.Background(), rd, 1, 2); err == nil ||
+		!strings.Contains(err.Error(), "all replicas failed") {
+		t.Fatalf("run over dead replicas must fail, got %v", err)
+	}
+}
+
+// TestRemoteDispatcherBadRequestIsFinal: a 4xx is the cell's fault; it must
+// surface immediately without downing the replica.
+func TestRemoteDispatcherBadRequestIsFinal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts HTTP servers")
+	}
+	models, _ := sharedReport(t)
+	a := &testReplica{models: models, failAfter: -1}
+	rd, err := NewRemoteDispatcher(startReplicas(t, a), RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rd.Dispatch(context.Background(), Cell{Task: "no-such-task", Setting: Matrix()[0].Label, Runs: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("404 must surface as the cell's error, got %v", err)
+	}
+	if stats := rd.Stats(); stats[0].Down {
+		t.Error("a bad request must not down the replica")
+	}
+}
+
+// TestRemoteDispatcherRejectsNonPositiveRuns: a runs<=0 cell must fail
+// before any replica contact — the daemon would coerce it to 1 and the
+// contract mismatch would read as a fleet-wide failure.
+func TestRemoteDispatcherRejectsNonPositiveRuns(t *testing.T) {
+	rd, err := NewRemoteDispatcher([]string{"http://127.0.0.1:1"}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Dispatch(context.Background(), Cell{Task: "x", Setting: "y", Runs: 0}); err == nil ||
+		!strings.Contains(err.Error(), "must be positive") {
+		t.Fatalf("runs=0 cell must be rejected, got %v", err)
+	}
+	if rd.Stats()[0].Down {
+		t.Error("the guard must fire before any replica is contacted")
+	}
+}
+
+// TestNewRemoteDispatcherValidation rejects unusable replica lists.
+func TestNewRemoteDispatcherValidation(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{},
+		{""},
+		{"   "},
+		{"not-a-url"},
+		{"http://a:1", "http://a:1"}, // duplicate
+	}
+	for _, urls := range cases {
+		if _, err := NewRemoteDispatcher(urls, RemoteOptions{}); err == nil {
+			t.Errorf("NewRemoteDispatcher(%q) accepted a bad replica list", urls)
+		}
+	}
+	if _, err := NewRemoteDispatcher([]string{"http://a:1/", "https://b:2"}, RemoteOptions{}); err != nil {
+		t.Errorf("valid replica list rejected: %v", err)
+	}
+}

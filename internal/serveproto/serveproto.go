@@ -1,0 +1,79 @@
+// Package serveproto is the wire protocol of the distributed serving tier:
+// the request/response types the dmi-serve daemon answers on POST /session
+// and GET /stats, shared with the bench.RemoteDispatcher that shards grid
+// cells across replicas and with the dmi-coord coordinator that scrapes
+// replica stats. Promoting the types out of cmd/dmi-serve is what keeps the
+// daemon and its clients from drifting: both sides compile against the same
+// structs, so a field rename is a build break, not a silent protocol skew.
+//
+// The protocol is deliberately tiny. A session request names one evaluation
+// grid cell — the task (which implies the app), the matrix setting by its
+// Table 3 label, and the repetition count — and the response carries the
+// cell's outcomes. Sessions are stateless, pure functions of
+// (model, task, setting, run): the RNG stream is derived from those
+// coordinates alone, so replaying a request on any replica yields the same
+// bytes. That idempotency is the entire failure-handling story — a
+// coordinator may re-dispatch a failed cell to another replica without
+// deduplication, fencing, or sequencing.
+package serveproto
+
+import (
+	"repro/internal/agent"
+	"repro/internal/modelstore"
+)
+
+// MaxRuns bounds one request's repetitions so a typo cannot park a worker
+// pool on a single cell indefinitely.
+const MaxRuns = 100
+
+// MaxRequestBytes caps a POST /session body. A session request is a few
+// short strings; daemons refuse to buffer more and answer 413.
+const MaxRequestBytes = 1 << 16
+
+// SessionRequest selects one grid cell. App is optional; when set it must
+// match the task's application (a cheap cross-check that the caller and the
+// replica agree on the catalog).
+type SessionRequest struct {
+	App     string `json:"app"`
+	Task    string `json:"task"`
+	Setting string `json:"setting"`
+	Runs    int    `json:"runs"`
+}
+
+// SessionResponse echoes the resolved cell and carries its outcomes in run
+// order — exactly the slice the in-process bench.Run produces for the same
+// cell.
+type SessionResponse struct {
+	App      string          `json:"app"`
+	Task     string          `json:"task"`
+	Setting  string          `json:"setting"`
+	Runs     int             `json:"runs"`
+	Outcomes []agent.Outcome `json:"outcomes"`
+}
+
+// StatsResponse is GET /stats: serving totals plus the model store's
+// warm-serving counters.
+type StatsResponse struct {
+	Sessions     int64            `json:"sessions"`
+	Runs         int64            `json:"runs"`
+	InFlight     int64            `json:"in_flight"`
+	Store        modelstore.Stats `json:"store"`
+	WarmHitRatio float64          `json:"warm_hit_ratio"`
+	BudgetBytes  int64            `json:"budget_bytes"`
+	CoreTokens   map[string]int   `json:"core_tokens"`
+}
+
+// Health is GET /healthz: readiness plus the catalog size the replica
+// prewarmed.
+type Health struct {
+	OK   bool `json:"ok"`
+	Apps int  `json:"apps"`
+}
+
+// HitRatio is the fraction of store lookups served without a build.
+func HitRatio(st modelstore.Stats) float64 {
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}

@@ -1,0 +1,56 @@
+package serveproto
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/modelstore"
+)
+
+// TestSessionRoundTrip pins the wire field names: the daemon and the
+// coordinator are compiled against these structs, and external clients are
+// written against the JSON keys.
+func TestSessionRoundTrip(t *testing.T) {
+	req := SessionRequest{App: "Word", Task: "word-1", Setting: "GUI+DMI / GPT-5 / Medium", Runs: 3}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"app"`, `"task"`, `"setting"`, `"runs"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("request JSON %s lacks %s", data, key)
+		}
+	}
+	var back SessionRequest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != req {
+		t.Fatalf("round trip changed the request: %+v != %+v", back, req)
+	}
+
+	resp := SessionResponse{App: "Word", Task: "word-1", Setting: req.Setting, Runs: 1,
+		Outcomes: []agent.Outcome{{Task: "word-1", Success: true, Steps: 4}}}
+	data, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var respBack SessionResponse
+	if err := json.Unmarshal(data, &respBack); err != nil {
+		t.Fatal(err)
+	}
+	if len(respBack.Outcomes) != 1 || respBack.Outcomes[0] != resp.Outcomes[0] {
+		t.Fatalf("outcomes did not survive the round trip: %+v", respBack)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if r := HitRatio(modelstore.Stats{}); r != 0 {
+		t.Errorf("zero traffic should have ratio 0, got %v", r)
+	}
+	if r := HitRatio(modelstore.Stats{Hits: 3, Misses: 1}); r != 0.75 {
+		t.Errorf("3 hits / 1 miss should be 0.75, got %v", r)
+	}
+}
