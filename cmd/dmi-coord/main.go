@@ -169,24 +169,29 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 }
 
 // waitHealthy polls every replica's /healthz until it answers ready or the
-// deadline passes. Replicas prewarm the whole catalog before listening on
-// /healthz, so this is where the coordinator absorbs replica startup.
+// wait budget runs out. Replicas prewarm the whole catalog before listening
+// on /healthz, so this is where the coordinator absorbs replica startup.
+// The budget is shared across replicas and carried by a context deadline,
+// so a parent cancellation (^C) is distinguishable from the budget running
+// out, and the ticker keeps probes on a fixed cadence instead of drifting
+// by probe latency the way sleep-after-probe loops do.
 func waitHealthy(ctx context.Context, replicas []string, wait time.Duration, stderr io.Writer) error {
-	deadline := time.Now().Add(wait)
+	ctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
 	for _, base := range replicas {
-		for {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if probeHealthz(ctx, base) {
-				fmt.Fprintf(stderr, "dmi-coord: replica %s is ready\n", base)
-				break
-			}
-			if time.Now().After(deadline) {
+		for !probeHealthz(ctx, base) {
+			select {
+			case <-ctx.Done():
+				if err := context.Cause(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+					return err // parent canceled; not a health verdict
+				}
 				return fmt.Errorf("replica %s not healthy after %s", base, wait)
+			case <-tick.C:
 			}
-			time.Sleep(100 * time.Millisecond)
 		}
+		fmt.Fprintf(stderr, "dmi-coord: replica %s is ready\n", base)
 	}
 	return nil
 }

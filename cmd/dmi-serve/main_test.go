@@ -123,10 +123,7 @@ func TestServeDaemon(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var hz struct {
-			OK   bool `json:"ok"`
-			Apps int  `json:"apps"`
-		}
+		var hz serveproto.Health
 		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
 			t.Fatal(err)
 		}
@@ -172,9 +169,7 @@ func TestServeDaemon(t *testing.T) {
 							t.Errorf("%s/%s: status %d (%v): %s", app, label, resp.StatusCode, err, raw)
 							return
 						}
-						var got struct {
-							Outcomes json.RawMessage `json:"outcomes"`
-						}
+						var got serveproto.RawSessionResponse
 						if err := json.Unmarshal(raw, &got); err != nil {
 							t.Errorf("%s/%s: %v", app, label, err)
 							return

@@ -1,0 +1,74 @@
+// Command dmi-vet runs the repo's custom go/analysis suite — maporder,
+// purity, modelsafe, wiredrift (see DESIGN.md §10) — over Go packages.
+//
+// Usage:
+//
+//	dmi-vet [packages]       # e.g. dmi-vet ./...
+//
+// dmi-vet is a unitchecker: the same separate-modular-analysis protocol
+// `go vet` uses for its own analyzers, which means package loading, export
+// data, and build caching all come from the go command rather than a
+// second loader. Invoked with package patterns, it re-executes itself
+// through `go vet -vettool=<self>`; invoked by the go command (with -V=full
+// or a *.cfg unit file), it serves the protocol directly. Exit status is 0
+// iff no diagnostics were reported.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/dmivet"
+)
+
+func main() {
+	if protocolInvocation(os.Args[1:]) {
+		unitchecker.Main(dmivet.Analyzers()...) // does not return
+	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run re-executes the binary under `go vet -vettool` over the package
+// patterns and returns the exit status (0 iff no diagnostics).
+func run(args []string, stdout, stderr io.Writer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "dmi-vet: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			return exit.ExitCode()
+		}
+		fmt.Fprintf(stderr, "dmi-vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// protocolInvocation reports whether the argument list is a go-command
+// protocol exchange (-V=full handshake, -flags query, help, or a unit.cfg
+// analysis request) rather than a human-typed package pattern.
+func protocolInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || a == "help" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

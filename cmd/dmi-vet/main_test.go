@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/dmivet"
+)
+
+// TestMain makes the test binary a working vettool: when run() below hands
+// this binary to `go vet -vettool`, the go command re-invokes it with
+// protocol arguments (-V=full, -flags, unit.cfg), and this dispatch serves
+// them exactly as the real main does.
+func TestMain(m *testing.M) {
+	if protocolInvocation(os.Args[1:]) {
+		unitchecker.Main(dmivet.Analyzers()...) // does not return
+	}
+	os.Exit(m.Run())
+}
+
+// TestRunCleanPackages drives the whole stack end-to-end — run() →
+// go vet -vettool=<this binary> → unitchecker protocol → the four
+// analyzers — over in-scope packages that must be clean.
+func TestRunCleanPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet")
+	}
+	// One in-scope package with a small dependency closure, not ./...: the
+	// vettool also runs over the whole dependency graph for facts, and
+	// under -race (CI) every extra package is analyzed by a
+	// race-instrumented binary.
+	var out bytes.Buffer
+	code := run([]string{"repro/internal/ung"}, &out, &out)
+	if code != 0 {
+		t.Fatalf("clean package flagged, exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestProtocolInvocation pins the dispatch between the two faces of the
+// binary: the go-command protocol (handshake, flags query, unit.cfg
+// analysis requests) versus human-typed package patterns.
+func TestProtocolInvocation(t *testing.T) {
+	for _, c := range []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"./..."}, false},
+		{[]string{"./internal/bench", "./cmd/dmi-coord"}, false},
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"help"}, true},
+		{[]string{"/tmp/b1234/repro/internal/bench/vet.cfg"}, true},
+		{[]string{"-json", "unit.cfg"}, true},
+		{[]string{"-V=short"}, false}, // only the full handshake is protocol
+	} {
+		if got := protocolInvocation(c.args); got != c.want {
+			t.Errorf("protocolInvocation(%q) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}

@@ -1,3 +1,12 @@
 module repro
 
 go 1.22
+
+// golang.org/x/tools is pinned by vendoring: the go/analysis subset that
+// cmd/dmi-vet builds on lives in third_party/golang.org/x/tools (copied from
+// the Go toolchain's own vendored, version-locked copy) and is resolved by
+// the replace directive below, so builds are hermetic — no network fetch, no
+// @latest drift. See tools.go for the tools-pattern anchor.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,34 @@
+package atest
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// toy flags every integer literal. It exists to exercise the harness
+// itself: the Requires chain (inspect), fixture-tree and stdlib import
+// resolution, and both quoting forms of // want expectations.
+var toy = &analysis.Analyzer{
+	Name:     "toy",
+	Doc:      "flag integer literals (harness self-test)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+		insp.Preorder([]ast.Node{(*ast.BasicLit)(nil)}, func(n ast.Node) {
+			lit := n.(*ast.BasicLit)
+			if lit.Kind == token.INT {
+				pass.Reportf(lit.Pos(), "int literal %s", lit.Value)
+			}
+		})
+		return nil, nil
+	},
+}
+
+func TestHarness(t *testing.T) {
+	Run(t, TestData(t), toy, "toy")
+}

@@ -1,0 +1,19 @@
+// Package toy is the harness self-test fixture: its diagnostics come from
+// the toy analyzer in atest_test.go, which flags integer literals. It
+// imports both the standard library and a sibling fixture package so the
+// chain importer's two resolution paths are exercised.
+package toy
+
+import (
+	"strings"
+
+	"toyhelper"
+)
+
+const answer = 42 // want "int literal 42"
+
+var (
+	product = 7 * 6 // want `int literal 7` `int literal 6`
+	upper   = strings.ToUpper(toyhelper.Sep)
+	name    = "strings"
+)

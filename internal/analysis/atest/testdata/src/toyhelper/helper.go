@@ -1,0 +1,7 @@
+// Package toyhelper exists to be imported by the toy fixture, proving the
+// harness resolves fixture-tree imports before falling back to the
+// standard library. Its own literals are not analyzed: the harness reports
+// diagnostics only for the package under test.
+package toyhelper
+
+const Sep = "|"

@@ -1,0 +1,26 @@
+// Package dmivet is the registry of the repo's custom go/analysis suite:
+// the four analyzers that mechanize the determinism, purity, and
+// wire-contract invariants every serving layer is accepted against
+// (DESIGN.md §10). cmd/dmi-vet drives them through the go vet -vettool
+// protocol; the analyzers themselves live in sibling packages so each can
+// be tested in isolation against its own fixtures.
+package dmivet
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/modelsafe"
+	"repro/internal/analysis/purity"
+	"repro/internal/analysis/wiredrift"
+)
+
+// Analyzers returns the dmi-vet suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		purity.Analyzer,
+		modelsafe.Analyzer,
+		wiredrift.Analyzer,
+	}
+}

@@ -1,0 +1,29 @@
+package dmivet
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestSuite pins the suite's composition: four analyzers, unique names,
+// valid per the framework (dependency and fact-type checks).
+func TestSuite(t *testing.T) {
+	as := Analyzers()
+	if len(as) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4", len(as))
+	}
+	want := map[string]bool{"maporder": true, "purity": true, "modelsafe": true, "wiredrift": true}
+	for _, a := range as {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("missing analyzer %q", name)
+	}
+	if err := analysis.Validate(as); err != nil {
+		t.Fatalf("suite does not validate: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package maporder implements the dmi-vet analyzer that guards the
+// byte-identical report path against Go's randomized map iteration order.
+//
+// Every layer of the serving stack is accepted by byte-comparing its report
+// against the sequential reference (DESIGN.md §6, §9). A `for range` over a
+// map inside that path is the classic way the comparison breaks only
+// sometimes: iteration order is randomized per run, so any order-dependent
+// effect — appending to a slice that is read in order, returning the first
+// matching element, string concatenation — makes output bytes a function of
+// the scheduler, not the inputs.
+//
+// The analyzer flags every map range statement in the report-path packages
+// unless either
+//
+//   - the loop body is provably order-insensitive: every statement is a
+//     commutative accumulation (x += v, x++, set insert m[k] = v, delete)
+//     optionally wrapped in pure conditionals, so reordering iterations
+//     cannot change the result (e.g. the solved-task intersection in
+//     bench.Report.NormalizedCoreSteps); or
+//   - the range is annotated with a //dmi:orderinvariant justification on
+//     the statement's line or the line directly above (the collect-then-sort
+//     idiom, which is order-insensitive for a reason the analyzer cannot
+//     prove).
+//
+// The body heuristic is deliberately conservative and makes no claim of
+// soundness in the other direction: keyed stores with colliding keys and
+// floating-point accumulation (where + is not associative) pass the check
+// but can still be order-dependent. The annotation requirement is the
+// backstop: anything the heuristic cannot bless must carry a human-written
+// justification that survives review. _test.go files are exempt: tests
+// assert rather than render, and an order-dependent assertion fails loudly
+// under any iteration order.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/vetkit"
+)
+
+// Scope lists the packages on the byte-identical report path: everything
+// between outcome collection and the rendered report, plus the wire layer
+// and the CLIs that print it.
+var Scope = []string{
+	"repro/internal/bench",
+	"repro/internal/describe",
+	"repro/internal/ung",
+	"repro/internal/serveproto",
+	"repro/cmd/dmi-bench",
+	"repro/cmd/dmi-coord",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration with order-dependent effects in the byte-identical report path\n\n" +
+		"Ranges over map-typed values inside the report-path packages must either have a\n" +
+		"provably order-insensitive body (commutative accumulators, set insert/delete) or\n" +
+		"carry a //dmi:orderinvariant justification comment.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !vetkit.InScope(pass.Pkg.Path(), Scope) {
+		return nil, nil
+	}
+	marked := vetkit.DirectiveLines(pass, "orderinvariant")
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		if vetkit.IsTestFile(pass, rs.Pos()) {
+			// Tests assert; an order-dependent assertion fails loudly under
+			// any order. The byte-identity contract is about report output.
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if vetkit.Marked(marked, pass, rs.For) {
+			return
+		}
+		if blockOrderInsensitive(pass.TypesInfo, rs.Body) {
+			return
+		}
+		pass.Reportf(rs.For, "range over map %s has order-dependent effects in the byte-identical report path; iterate a deterministic order (e.g. a sorted key slice or an Order list), make every statement an order-insensitive sink, or justify with //dmi:orderinvariant", types.ExprString(rs.X))
+	})
+	return nil, nil
+}
+
+// blockOrderInsensitive reports whether every statement in the block is an
+// order-insensitive sink.
+func blockOrderInsensitive(info *types.Info, b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !stmtOrderInsensitive(info, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtOrderInsensitive recognizes the statement forms whose effect is the
+// same under any iteration order: commutative accumulation into a variable,
+// insertion into / deletion from another map, and pure conditionals around
+// them. Everything else — appends, returns, breaks, calls, sends — is
+// order-dependent until proven otherwise by annotation.
+func stmtOrderInsensitive(info *types.Info, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// Plain stores are sinks only when every target is a map
+			// element (set insert): writes to distinct keys commute, and
+			// same-key overwrites are the annotated case, not this one.
+			for _, l := range s.Lhs {
+				if !isMapIndexStore(info, l) {
+					return false
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+			token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative-and-associative accumulation (for the integer
+			// accumulators the report path uses).
+		default:
+			return false
+		}
+		for _, r := range s.Rhs {
+			if !exprPure(info, r) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && vetkit.IsBuiltinCall(info, call, "delete")
+	case *ast.IfStmt:
+		if s.Init != nil && !stmtOrderInsensitive(info, s.Init) {
+			return false
+		}
+		if !exprPure(info, s.Cond) || !blockOrderInsensitive(info, s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			return stmtOrderInsensitive(info, s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return blockOrderInsensitive(info, s)
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// isMapIndexStore reports whether e is an index expression into a map.
+func isMapIndexStore(info *types.Info, e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// exprPure reports whether evaluating e has no side effects: no calls other
+// than the pure builtins len and cap, no channel receives.
+func exprPure(info *types.Info, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !vetkit.IsBuiltinCall(info, n, "len", "cap") {
+				pure = false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+			}
+		case *ast.FuncLit:
+			return false // a literal is a value; calling it would be a CallExpr
+		}
+		return pure
+	})
+	return pure
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	atest.Run(t, atest.TestData(t), maporder.Analyzer,
+		"repro/internal/bench", "outofscope")
+}

@@ -1,0 +1,11 @@
+// Package outofscope is not on the report path, so maporder ignores it
+// entirely.
+package outofscope
+
+func collectKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

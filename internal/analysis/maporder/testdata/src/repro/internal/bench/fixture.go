@@ -1,0 +1,87 @@
+// Package bench is a maporder fixture standing in for the report-path
+// package repro/internal/bench (in Scope).
+package bench
+
+func collectKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has order-dependent effects`
+		out = append(out, k)
+	}
+	return out
+}
+
+func setSink(m map[string]int) map[string]bool {
+	set := make(map[string]bool)
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+func sumSink(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func countSink(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func intersect(keep map[string]bool, other map[string]bool) {
+	for k := range keep {
+		if !other[k] {
+			delete(keep, k)
+		}
+	}
+}
+
+func annotatedAbove(m map[string]int) []string {
+	var out []string
+	//dmi:orderinvariant collected keys are sorted by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func annotatedTrailing(m map[string]int) []string {
+	var out []string
+	for k := range m { //dmi:orderinvariant collected keys are sorted by the caller
+		out = append(out, k)
+	}
+	return out
+}
+
+func impureAccumulator(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `range over map m has order-dependent effects`
+		n += double(v)
+	}
+	return n
+}
+
+func double(v int) int { return v * 2 }
+
+func firstMatch(m map[string]int) string {
+	for k, v := range m { // want `range over map m has order-dependent effects`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package bench
+
+// Test files are exempt: an order-dependent assertion fails loudly under
+// any iteration order, so nothing here is flagged.
+
+func collectKeysForAssertion(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

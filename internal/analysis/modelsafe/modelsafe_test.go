@@ -1,0 +1,13 @@
+package modelsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/modelsafe"
+)
+
+func TestModelSafe(t *testing.T) {
+	atest.Run(t, atest.TestData(t), modelsafe.Analyzer,
+		"modelclient", "repro/internal/ung", "repro/internal/describe")
+}

@@ -1,0 +1,63 @@
+// Package modelclient is the modelsafe consumer fixture: it holds frozen
+// model values built elsewhere, so every write below is a violation and
+// every read is fine.
+package modelclient
+
+import (
+	"repro/internal/core"
+	"repro/internal/describe"
+	"repro/internal/forest"
+	"repro/internal/ung"
+)
+
+func mutateModel(m *describe.Model, f *forest.Forest) {
+	m.Forest = f // want `write to Model.Forest outside repro/internal/describe`
+}
+
+func mutateForestNode(n *forest.Node) {
+	n.Name = "renamed"                   // want `write to Node.Name outside repro/internal/forest`
+	n.Children = append(n.Children, nil) // want `write to Node.Children outside repro/internal/forest`
+}
+
+func mutateDeepChain(m *describe.Model) {
+	m.Forest.Main = nil // want `write to Forest.Main outside repro/internal/forest`
+}
+
+func mutateGraph(g *ung.Graph) {
+	g.Nodes["x"] = nil  // want `write to Graph.Nodes outside repro/internal/ung`
+	g.Ensure("y")       // want `Ensure mutates a frozen graph outside repro/internal/ung`
+	g.AddEdge("x", "y") // want `AddEdge mutates a frozen graph outside repro/internal/ung`
+}
+
+func readOnly(m *describe.Model) int {
+	total := 0
+	for _, n := range m.Forest.Shared {
+		total += len(n.Children)
+	}
+	return total
+}
+
+func localStructsAreFree() {
+	type scratch struct{ n int }
+	s := &scratch{}
+	s.n = 1
+	s.n++
+	_ = s
+}
+
+func leakSession(s *core.Session) {
+	go func() { // launched closure captures s
+		s.Step() // want `session s crosses a goroutine boundary`
+	}()
+	go s.Step() // want `session s crosses a goroutine boundary`
+	go runIn(s) // want `session s crosses a goroutine boundary`
+}
+
+func ownedSession() {
+	go func() {
+		s := core.NewSession() // created inside the goroutine that runs it
+		s.Step()
+	}()
+}
+
+func runIn(s *core.Session) { s.Step() }

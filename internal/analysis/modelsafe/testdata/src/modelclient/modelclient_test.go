@@ -1,0 +1,21 @@
+package modelclient
+
+import (
+	"repro/internal/core"
+	"repro/internal/ung"
+)
+
+// The write and mutator rules exempt test files (tests build their own
+// fixtures by construction)...
+func buildFixtureGraph() *ung.Graph {
+	g := &ung.Graph{}
+	g.AddEdge("a", "b")
+	g.Order = nil
+	return g
+}
+
+// ...but the session-goroutine rule holds in tests too: a test that leaks
+// a session across goroutines races for real.
+func leakInTest(s *core.Session) {
+	go s.Step() // want `session s crosses a goroutine boundary`
+}

@@ -1,0 +1,11 @@
+// Package core is a modelsafe fixture stub for repro/internal/core: the
+// single-goroutine session type.
+package core
+
+type Session struct {
+	steps int
+}
+
+func NewSession() *Session { return &Session{} }
+
+func (s *Session) Step() { s.steps++ }

@@ -1,0 +1,16 @@
+// Package describe is a modelsafe fixture stub for repro/internal/describe.
+// The in-package write below is construction code and allowed.
+package describe
+
+import "repro/internal/forest"
+
+type Model struct {
+	App    string
+	Forest *forest.Forest
+}
+
+func New(app string, f *forest.Forest) *Model {
+	m := &Model{App: app}
+	m.Forest = f
+	return m
+}

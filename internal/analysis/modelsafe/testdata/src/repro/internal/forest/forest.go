@@ -1,0 +1,13 @@
+// Package forest is a modelsafe fixture stub for repro/internal/forest:
+// just enough shape for the protected-type checks.
+package forest
+
+type Node struct {
+	Name     string
+	Children []*Node
+}
+
+type Forest struct {
+	Main   *Node
+	Shared map[string]*Node
+}

@@ -1,0 +1,33 @@
+// Package ung is a modelsafe fixture stub for repro/internal/ung: the
+// protected graph types plus their construction-time mutators. Writes and
+// mutator calls in this file are inside the defining package and allowed.
+package ung
+
+type Node struct {
+	ID  string
+	Out []string
+}
+
+type Graph struct {
+	Nodes map[string]*Node
+	Order []string
+}
+
+func (g *Graph) Ensure(id string) *Node {
+	if n, ok := g.Nodes[id]; ok {
+		return n
+	}
+	if g.Nodes == nil {
+		g.Nodes = make(map[string]*Node)
+	}
+	n := &Node{ID: id}
+	g.Nodes[id] = n
+	g.Order = append(g.Order, id)
+	return n
+}
+
+func (g *Graph) AddEdge(from, to string) {
+	n := g.Ensure(from)
+	g.Ensure(to)
+	n.Out = append(n.Out, to)
+}

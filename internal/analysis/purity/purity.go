@@ -1,0 +1,133 @@
+// Package purity implements the dmi-vet analyzer that keeps the session/rip
+// call graph a pure function of its inputs.
+//
+// The distributed serving tier depends on sessions being idempotent: a
+// cell's outcomes are a pure function of (model, task, setting, run), which
+// is what lets bench.RemoteDispatcher re-dispatch a failed cell to another
+// replica with no deduplication or fencing (DESIGN.md §9), and what makes
+// the offline rip byte-identical across worker counts and machines. That
+// contract dies the moment the executor or the ripper reads ambient state:
+// wall-clock time, the global math/rand stream, environment variables, or
+// the filesystem.
+//
+// The analyzer forbids direct calls to those ambient sources inside the
+// pure packages (the agent driver, the DMI executor, the ripper, the
+// describer, and the simulated-LLM layer):
+//
+//   - time.Now, time.Since, time.Until — simulated time comes from the
+//     app's Desk clock; wall time would make Outcome.Time host-dependent.
+//   - package-level math/rand draws (rand.Int, rand.Float64, rand.Shuffle,
+//     ...) — all randomness must flow from the seeded per-session source
+//     built by llm.Rand. The source constructors (rand.New,
+//     rand.NewSource, rand.NewZipf, and the v2 equivalents) are the
+//     explicit allowlist: constructing a seeded stream is how purity is
+//     achieved, drawing from the shared global stream is how it is lost.
+//   - os.Getenv / os.LookupEnv / os.Environ and filesystem reads (os.Open,
+//     os.ReadFile, os.Stat, ...) — configuration and artifacts reach the
+//     pure layers as arguments, never ambiently.
+//
+// Scope notes: _test.go files are exempt (golden-update gates legitimately
+// read the environment, and test timing is not part of any contract), and
+// cmd/* packages are out of scope entirely — daemon and coordinator timing
+// code (health polling, shutdown deadlines) is real wall-clock work, not
+// session state. The check is syntactic per package, not a whole-program
+// call-graph analysis: impurity smuggled in through an interface value or a
+// function argument is out of reach, which is acceptable because the listed
+// packages are the ones whose source the contract names.
+package purity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/vetkit"
+)
+
+// Scope lists the pure packages: the session executor layers and the rip
+// pipeline whose outputs must be functions of their arguments alone.
+var Scope = []string{
+	"repro/internal/agent",
+	"repro/internal/core",
+	"repro/internal/describe",
+	"repro/internal/llm",
+	"repro/internal/ung",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "purity",
+	Doc: "forbid ambient state (wall clock, global rand, env, filesystem) in the pure session/rip call graph\n\n" +
+		"Sessions and rips are idempotent functions of their coordinates — the property the\n" +
+		"remote re-dispatch argument depends on. Seeded per-session rand sources are the\n" +
+		"allowed randomness; everything ambient is forbidden in the pure packages.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// forbidden maps package path → function name → what to say about it.
+// Only package-level functions appear here; methods on values (e.g. a
+// seeded *rand.Rand) are pure with respect to ambient state.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time; use the app's simulated Desk clock",
+		"Since": "wall-clock time; use the app's simulated Desk clock",
+		"Until": "wall-clock time; use the app's simulated Desk clock",
+	},
+	"os": {
+		"Getenv":    "ambient environment; pass configuration as arguments",
+		"LookupEnv": "ambient environment; pass configuration as arguments",
+		"Environ":   "ambient environment; pass configuration as arguments",
+		"Open":      "filesystem read; artifacts reach pure layers as arguments",
+		"OpenFile":  "filesystem read; artifacts reach pure layers as arguments",
+		"ReadFile":  "filesystem read; artifacts reach pure layers as arguments",
+		"ReadDir":   "filesystem read; artifacts reach pure layers as arguments",
+		"Stat":      "filesystem read; artifacts reach pure layers as arguments",
+		"Lstat":     "filesystem read; artifacts reach pure layers as arguments",
+		"Getwd":     "ambient process state; pass paths as arguments",
+	},
+}
+
+// randAllowed lists the math/rand package-level functions that construct
+// seeded sources — the explicit allowlist for the per-session RNG streams
+// in internal/llm and internal/agent. Every other package-level function
+// draws from the shared global stream.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *Rand
+	"NewPCG":     true, // math/rand/v2 seeded sources
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !vetkit.InScope(pass.Pkg.Path(), Scope) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if vetkit.IsTestFile(pass, call.Pos()) {
+			return
+		}
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods are out of scope; only package-level ambience
+		}
+		pkg, name := fn.Pkg().Path(), fn.Name()
+		if why, ok := forbidden[pkg][name]; ok {
+			pass.Reportf(call.Pos(), "%s.%s in the pure session/rip call graph: %s (sessions must stay idempotent functions of their coordinates)", pkg, name, why)
+			return
+		}
+		if (pkg == "math/rand" || pkg == "math/rand/v2") && !randAllowed[name] {
+			pass.Reportf(call.Pos(), "global %s.%s in the pure session/rip call graph: draw from the seeded per-session source (llm.Rand) instead", pkg, name)
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package purity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/purity"
+)
+
+func TestPurity(t *testing.T) {
+	atest.Run(t, atest.TestData(t), purity.Analyzer,
+		"repro/internal/agent", "repro/cmd/dmi-coord")
+}

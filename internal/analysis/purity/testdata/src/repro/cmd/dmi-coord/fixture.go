@@ -1,0 +1,10 @@
+// Package main is a purity fixture standing in for a cmd/* package:
+// daemon and coordinator timing code is real wall-clock work, out of the
+// purity scope, so nothing here is flagged.
+package main
+
+import "time"
+
+func pollDeadline(wait time.Duration) time.Time {
+	return time.Now().Add(wait)
+}

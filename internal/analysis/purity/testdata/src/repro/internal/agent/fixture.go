@@ -1,0 +1,45 @@
+// Package agent is a purity fixture standing in for the pure session
+// executor package repro/internal/agent (in Scope).
+package agent
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in the pure session/rip call graph`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in the pure session/rip call graph`
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want `global math/rand.Float64 in the pure session/rip call graph`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle in the pure session/rip call graph`
+}
+
+func seededSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func seededDraw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func ambientEnv() string {
+	return os.Getenv("HOME") // want `os.Getenv in the pure session/rip call graph`
+}
+
+func ambientRead(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `os.ReadFile in the pure session/rip call graph`
+}
+
+func pureTime(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}

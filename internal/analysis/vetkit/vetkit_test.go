@@ -1,0 +1,221 @@
+package vetkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func TestInScope(t *testing.T) {
+	scope := []string{"repro/internal/bench", "repro/cmd/dmi-bench"}
+	for path, want := range map[string]bool{
+		"repro/internal/bench":       true,
+		"repro/internal/bench_test":  true, // external test package variant
+		"repro/internal/bench.test":  true, // test binary variant
+		"repro/cmd/dmi-bench":        true,
+		"repro/internal/benchmark":   false, // exact match, not a prefix
+		"repro/internal/bench/sub":   false,
+		"repro/internal/modelstore":  false,
+		"other/repro/internal/bench": false,
+	} {
+		if got := InScope(path, scope); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestDirectiveGrammar pins the //dmi:<name> annotation grammar: the marker
+// must immediately follow the slashes, justification text follows after a
+// space or colon, and the mark covers the directive's own line plus the
+// line directly below (trailing-comment and line-above placements).
+func TestDirectiveGrammar(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) {
+	//dmi:orderinvariant keys sorted below
+	for range m {
+	}
+	// dmi:orderinvariant leading space does not count
+	for range m {
+	}
+	//dmi:orderinvariantsuffix is a different word
+	for range m {
+	}
+	//dmi:orderinvariant: colon form
+	for range m {
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: fset, Files: []*ast.File{f}}
+	lines := DirectiveLines(pass, "orderinvariant")
+	marked := lines["p.go"]
+	for line, want := range map[int]bool{
+		4:  true,  // the directive line itself
+		7:  false, // space after // breaks the directive form
+		10: false, // longer word, not this directive
+		13: true,  // colon-separated justification
+	} {
+		if marked[line] != want {
+			t.Errorf("line %d marked = %v, want %v", line, marked[line], want)
+		}
+	}
+	// Marked covers the statement line and the line directly above.
+	for pos, want := range map[int]bool{5: true, 8: false, 11: false, 14: true} {
+		p := linePos(fset, f, pos)
+		if got := Marked(lines, pass, p); got != want {
+			t.Errorf("Marked(line %d) = %v, want %v", pos, got, want)
+		}
+	}
+}
+
+// linePos returns a position on the given 1-based line of the file.
+func linePos(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line)
+}
+
+// typecheckSrc parses and typechecks a single-file package.
+func typecheckSrc(t *testing.T, filename, src string) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("q", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, pkg, info
+}
+
+func TestTypeHelpers(t *testing.T) {
+	src := `package q
+
+type T struct{ N int }
+type A = T
+
+var (
+	v  T
+	p  *T
+	pa *A
+	i  int
+	m  map[string]*T
+)
+`
+	_, _, pkg, _ := typecheckSrc(t, "q.go", src)
+	typeOf := func(name string) types.Type {
+		obj := pkg.Scope().Lookup(name)
+		if obj == nil {
+			t.Fatalf("no object %q", name)
+		}
+		return obj.Type()
+	}
+	// NamedType resolves through pointers and aliases to the named type.
+	for _, name := range []string{"v", "p", "pa"} {
+		n := NamedType(typeOf(name))
+		if n == nil || n.Obj().Name() != "T" {
+			t.Errorf("NamedType(%s) = %v, want q.T", name, n)
+		}
+	}
+	if n := NamedType(typeOf("i")); n != nil {
+		t.Errorf("NamedType(int) = %v, want nil", n)
+	}
+	if n := NamedType(typeOf("m")); n != nil {
+		t.Errorf("NamedType(map) = %v, want nil (no resolution through maps)", n)
+	}
+	// TypeIs matches package path + name, through pointers and aliases.
+	if !TypeIs(typeOf("pa"), "q", "T") {
+		t.Error("TypeIs(*A) should match q.T through the alias")
+	}
+	if TypeIs(typeOf("v"), "q", "U") || TypeIs(typeOf("v"), "other", "T") || TypeIs(typeOf("i"), "q", "T") {
+		t.Error("TypeIs matched a wrong name, package, or unnamed type")
+	}
+	// SamePackage normalizes test-variant package paths.
+	if !SamePackage(pkg, "q") || SamePackage(pkg, "r") || SamePackage(nil, "q") {
+		t.Error("SamePackage misjudged the package identity")
+	}
+	if !SamePackage(types.NewPackage("q_test", "q"), "q") {
+		t.Error("SamePackage should normalize the _test package variant")
+	}
+}
+
+func TestIsBuiltinCall(t *testing.T) {
+	src := `package q
+
+func f(m map[string]int, s []int) int {
+	delete(m, "k")
+	n := len(m) + cap(s)
+	g := func(x map[string]int, k string) {}
+	g(m, "k")
+	return n
+}
+
+func delete2(m map[string]int, k string) {}
+
+func shadowed(m map[string]int) {
+	delete := func(map[string]int, string) {}
+	delete(m, "k")
+}
+`
+	_, f, _, info := typecheckSrc(t, "q.go", src)
+	var calls []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	// Calls appear in source order: delete, len, cap, g, shadowed delete.
+	if len(calls) != 5 {
+		t.Fatalf("found %d calls, want 5", len(calls))
+	}
+	if !IsBuiltinCall(info, calls[0], "delete") || IsBuiltinCall(info, calls[0], "len", "cap") {
+		t.Error("real delete builtin misclassified")
+	}
+	if !IsBuiltinCall(info, calls[1], "len", "cap") || !IsBuiltinCall(info, calls[2], "len", "cap") {
+		t.Error("len/cap builtins not recognized")
+	}
+	if IsBuiltinCall(info, calls[3], "delete", "len", "cap") {
+		t.Error("ordinary function call misclassified as builtin")
+	}
+	if IsBuiltinCall(info, calls[4], "delete") {
+		t.Error("shadowed delete must not count as the builtin")
+	}
+}
+
+func TestIsTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	reg, err := parser.ParseFile(fset, "pkg.go", "package q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst, err := parser.ParseFile(fset, "pkg_test.go", "package q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: fset}
+	if IsTestFile(pass, reg.Pos()) {
+		t.Error("pkg.go classified as a test file")
+	}
+	if !IsTestFile(pass, tst.Pos()) {
+		t.Error("pkg_test.go not classified as a test file")
+	}
+	if IsTestFile(pass, token.NoPos) {
+		t.Error("NoPos cannot be in a test file")
+	}
+}

@@ -1,0 +1,13 @@
+// Package anyclient is not a wire-protocol participant, so wiredrift
+// ignores its decode targets.
+package anyclient
+
+import "encoding/json"
+
+func anonymousDecode(raw []byte) (string, error) {
+	var resp struct {
+		App string `json:"app"`
+	}
+	err := json.Unmarshal(raw, &resp)
+	return resp.App, err
+}

@@ -1,0 +1,38 @@
+// Package bench is a wiredrift fixture standing in for the wire-protocol
+// client repro/internal/bench (in ClientScope).
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"repro/internal/serveproto"
+)
+
+func namedDecode(raw []byte) (serveproto.Good, error) {
+	var resp serveproto.Good
+	err := json.Unmarshal(raw, &resp)
+	return resp, err
+}
+
+func anonymousDecode(raw []byte) (string, error) {
+	var resp struct {
+		App string `json:"app"`
+	}
+	err := json.Unmarshal(raw, &resp) // want `wire body decoded into an anonymous struct`
+	return resp.App, err
+}
+
+func decoderAnonymous(raw []byte) (string, error) {
+	var resp struct {
+		App string `json:"app"`
+	}
+	err := json.NewDecoder(bytes.NewReader(raw)).Decode(&resp) // want `wire body decoded into an anonymous struct`
+	return resp.App, err
+}
+
+func decoderNamed(raw []byte) (serveproto.Good, error) {
+	var resp serveproto.Good
+	err := json.NewDecoder(bytes.NewReader(raw)).Decode(&resp)
+	return resp, err
+}

@@ -1,0 +1,31 @@
+// Package serveproto is a wiredrift fixture standing in for the wire
+// contract package repro/internal/serveproto.
+package serveproto
+
+import "encoding/json"
+
+type Good struct {
+	App      string          `json:"app"`
+	Runs     int             `json:"runs"`
+	Outcomes json.RawMessage `json:"outcomes"`
+	Internal string          `json:"-"`
+	cursor   int
+}
+
+type Missing struct {
+	App  string // want `exported wire field App has no explicit json tag`
+	Runs int    `json:"runs"`
+}
+
+type Unnamed struct {
+	App string `json:",omitempty"` // want `exported wire field App has a json tag without a name`
+}
+
+type Duplicate struct {
+	App   string `json:"app"`
+	Alias string `json:"app"` // want `wire field Alias reuses json name "app"`
+}
+
+type Wrapped struct {
+	Good `json:"good"` // want `embedded field in a serveproto wire struct`
+}

@@ -1,0 +1,13 @@
+package wiredrift_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/wiredrift"
+)
+
+func TestWireDrift(t *testing.T) {
+	atest.Run(t, atest.TestData(t), wiredrift.Analyzer,
+		"repro/internal/serveproto", "repro/internal/bench", "anyclient")
+}

@@ -374,6 +374,7 @@ func (r *Report) WriteFig6(w io.Writer) {
 			iface, d.Total, d.Policy, pct(d.Policy, d.Total),
 			d.Mechanism, pct(d.Mechanism, d.Total))
 		var channels []string
+		//dmi:orderinvariant collected channel names are sorted before rendering
 		for c := range d.ByChannel {
 			channels = append(channels, c)
 		}

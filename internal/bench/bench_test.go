@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/llm"
+	"repro/internal/osworld"
 )
 
 var (
@@ -176,6 +177,87 @@ func TestNormalizedStepsShape(t *testing.T) {
 		t.Errorf("normalized core steps: GUI %.2f, ablation %.2f, DMI %.2f — DMI must be lowest",
 			norm[0], norm[1], norm[2])
 	}
+}
+
+// TestNormalizedCoreStepsEdges covers the Figure 5b computation at its
+// boundaries with hand-built rows: no rows, one row, an empty solved-task
+// intersection, and the majority-of-runs rule that decides what "solved"
+// means in the first place.
+func TestNormalizedCoreStepsEdges(t *testing.T) {
+	rep := &Report{}
+	mkRow := func(solved map[string]bool, outcomes ...agent.Outcome) Row {
+		return Row{SolvedTasks: solved, Outcomes: outcomes}
+	}
+	win := func(task string, core int) agent.Outcome {
+		return agent.Outcome{Task: task, Success: true, CoreSteps: core}
+	}
+	loss := func(task string) agent.Outcome {
+		return agent.Outcome{Task: task}
+	}
+
+	t.Run("no rows", func(t *testing.T) {
+		if norm := rep.NormalizedCoreSteps(nil); norm != nil {
+			t.Fatalf("nil rows must yield nil, got %v", norm)
+		}
+	})
+	t.Run("single row normalizes over its own solved set", func(t *testing.T) {
+		row := mkRow(map[string]bool{"a": true, "b": true},
+			win("a", 2), win("b", 4), win("c", 100), loss("a"))
+		norm := rep.NormalizedCoreSteps([]Row{row})
+		// Mean over the successful runs of solved tasks only: (2+4)/2. The
+		// solved-but-failed run and the unsolved task c contribute nothing.
+		if len(norm) != 1 || norm[0] != 3 {
+			t.Fatalf("norm = %v, want [3]", norm)
+		}
+	})
+	t.Run("empty intersection yields zeros, not NaN", func(t *testing.T) {
+		rows := []Row{
+			mkRow(map[string]bool{"a": true}, win("a", 2)),
+			mkRow(map[string]bool{"b": true}, win("b", 7)),
+		}
+		norm := rep.NormalizedCoreSteps(rows)
+		if len(norm) != 2 || norm[0] != 0 || norm[1] != 0 {
+			t.Fatalf("disjoint solved sets must yield zeros, got %v", norm)
+		}
+	})
+	t.Run("intersection drops tasks any row missed", func(t *testing.T) {
+		rows := []Row{
+			mkRow(map[string]bool{"a": true, "b": true}, win("a", 2), win("b", 10)),
+			mkRow(map[string]bool{"a": true}, win("a", 6)),
+		}
+		norm := rep.NormalizedCoreSteps(rows)
+		if len(norm) != 2 || norm[0] != 2 || norm[1] != 6 {
+			t.Fatalf("norm = %v, want [2 6]", norm)
+		}
+	})
+	t.Run("majority rule boundary", func(t *testing.T) {
+		task := osworld.All()[0]
+		set := Matrix()[0]
+		for _, c := range []struct {
+			runs, wins int
+			solved     bool
+		}{
+			{2, 1, false}, // exactly half is not a majority
+			{2, 2, true},
+			{3, 2, true},
+			{3, 1, false},
+			{1, 1, true},
+			{1, 0, false},
+		} {
+			outcomes := make([]agent.Outcome, 0, c.runs)
+			for i := 0; i < c.runs; i++ {
+				if i < c.wins {
+					outcomes = append(outcomes, win(task.ID, 3))
+				} else {
+					outcomes = append(outcomes, loss(task.ID))
+				}
+			}
+			row := aggregate(set, []osworld.Task{task}, c.runs, outcomes)
+			if got := row.SolvedTasks[task.ID]; got != c.solved {
+				t.Errorf("%d wins of %d runs: solved = %v, want %v", c.wins, c.runs, got, c.solved)
+			}
+		}
+	})
 }
 
 // TestTokenClaim asserts §5.4: despite per-call topology overhead, total

@@ -234,6 +234,63 @@ func TestRunDispatchedLocalEquivalence(t *testing.T) {
 	}
 }
 
+// TestDispatchIdempotent pins the re-dispatch contract the coordinator's
+// whole failure-handling story rests on: a cell's outcomes are a pure
+// function of (model, task, setting, run), so dispatching the same cell
+// twice — on the same dispatcher or on a dispatcher over freshly built
+// models, as a failover re-dispatch would — must yield byte-identical
+// outcome slices.
+func TestDispatchIdempotent(t *testing.T) {
+	models, err := agent.BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := agent.BuildModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewLocalDispatcher(models, 1)
+	replica := NewLocalDispatcher(rebuilt, 1)
+	settings := Matrix()
+	cells := []Cell{
+		{Task: osworld.All()[0].ID, Setting: settings[0].Label, Runs: 3},
+		{Task: osworld.All()[0].ID, Setting: settings[len(settings)-1].Label, Runs: 3},
+		{Task: osworld.All()[len(osworld.All())-1].ID, Setting: settings[0].Label, Runs: 2},
+	}
+	for _, cell := range cells {
+		first, err := d.Dispatch(context.Background(), cell)
+		if err != nil {
+			t.Fatalf("%+v: %v", cell, err)
+		}
+		a, err := json.Marshal(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := d.Dispatch(context.Background(), cell)
+		if err != nil {
+			t.Fatalf("%+v re-dispatch: %v", cell, err)
+		}
+		b, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%+v: re-dispatch on the same dispatcher diverged:\n%s\n%s", cell, a, b)
+		}
+		other, err := replica.Dispatch(context.Background(), cell)
+		if err != nil {
+			t.Fatalf("%+v on rebuilt models: %v", cell, err)
+		}
+		c, err := json.Marshal(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(c) {
+			t.Errorf("%+v: dispatch on freshly built models diverged:\n%s\n%s", cell, a, c)
+		}
+	}
+}
+
 // TestRemoteDispatcherEquivalence: two healthy replicas, full grid — the
 // remote report must be byte-identical to the sequential in-process one,
 // with cells actually sharded across both backends and zero retries.

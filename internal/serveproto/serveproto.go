@@ -18,6 +18,8 @@
 package serveproto
 
 import (
+	"encoding/json"
+
 	"repro/internal/agent"
 	"repro/internal/modelstore"
 )
@@ -49,6 +51,19 @@ type SessionResponse struct {
 	Setting  string          `json:"setting"`
 	Runs     int             `json:"runs"`
 	Outcomes []agent.Outcome `json:"outcomes"`
+}
+
+// RawSessionResponse is SessionResponse with the outcomes left as raw
+// bytes: the view byte-equivalence tests decode into, so a daemon's exact
+// outcome encoding can be compared against a reference without a
+// decode/re-encode round trip hiding a drift. It must mirror
+// SessionResponse field for field (asserted by TestRawSessionResponseMirror).
+type RawSessionResponse struct {
+	App      string          `json:"app"`
+	Task     string          `json:"task"`
+	Setting  string          `json:"setting"`
+	Runs     int             `json:"runs"`
+	Outcomes json.RawMessage `json:"outcomes"`
 }
 
 // StatsResponse is GET /stats: serving totals plus the model store's

@@ -2,6 +2,7 @@ package serveproto
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -43,6 +44,31 @@ func TestSessionRoundTrip(t *testing.T) {
 	}
 	if len(respBack.Outcomes) != 1 || respBack.Outcomes[0] != resp.Outcomes[0] {
 		t.Fatalf("outcomes did not survive the round trip: %+v", respBack)
+	}
+}
+
+// TestRawSessionResponseMirror pins RawSessionResponse to SessionResponse:
+// same fields, same order, same json tags — only the Outcomes payload type
+// differs (raw bytes for byte-level comparisons). A field added to one but
+// not the other is a wire drift, which is exactly what the raw view exists
+// to catch.
+func TestRawSessionResponseMirror(t *testing.T) {
+	full := reflect.TypeOf(SessionResponse{})
+	raw := reflect.TypeOf(RawSessionResponse{})
+	if full.NumField() != raw.NumField() {
+		t.Fatalf("SessionResponse has %d fields, RawSessionResponse %d", full.NumField(), raw.NumField())
+	}
+	for i := 0; i < full.NumField(); i++ {
+		f, r := full.Field(i), raw.Field(i)
+		if f.Name != r.Name || f.Tag.Get("json") != r.Tag.Get("json") {
+			t.Errorf("field %d diverges: %s `%s` vs %s `%s`", i, f.Name, f.Tag, r.Name, r.Tag)
+		}
+		if f.Name != "Outcomes" && f.Type != r.Type {
+			t.Errorf("field %s type diverges: %s vs %s", f.Name, f.Type, r.Type)
+		}
+	}
+	if raw.Field(raw.NumField()-1).Type != reflect.TypeOf(json.RawMessage{}) {
+		t.Errorf("RawSessionResponse.Outcomes must be json.RawMessage")
 	}
 }
 

@@ -171,9 +171,19 @@ func (g *Graph) Reachable() map[string]bool {
 }
 
 // Validate checks structural invariants: edge endpoints exist, In/Out are
-// consistent, and every node is reachable from the root.
+// consistent, and every node is reachable from the root. It walks nodes in
+// discovery order, so the same broken graph always yields the same error —
+// ranging over the Nodes map here made the reported violation a function of
+// map iteration order (caught by the maporder analyzer).
 func (g *Graph) Validate() error {
-	for id, n := range g.Nodes {
+	if len(g.Order) != len(g.Nodes) {
+		return fmt.Errorf("ung: %d nodes in discovery order, %d in the node map", len(g.Order), len(g.Nodes))
+	}
+	for _, id := range g.Order {
+		n, ok := g.Nodes[id]
+		if !ok {
+			return fmt.Errorf("ung: order references missing node %q", id)
+		}
 		if n.ID != id {
 			return fmt.Errorf("ung: node key %q != node id %q", id, n.ID)
 		}
@@ -197,6 +207,7 @@ func (g *Graph) Validate() error {
 	reach := g.Reachable()
 	if len(reach) != len(g.Nodes) {
 		var missing []string
+		//dmi:orderinvariant collected ids are sorted before use
 		for id := range g.Nodes {
 			if !reach[id] {
 				missing = append(missing, id)

@@ -1,0 +1,14 @@
+//go:build tools
+
+// Package tools anchors build-time tool dependencies in go.mod (the
+// standard tools.go pattern): the blank import keeps golang.org/x/tools —
+// the go/analysis framework cmd/dmi-vet is built on — in the module graph
+// at the version the require/replace pair pins, so `go mod tidy` cannot
+// drop it and nothing is installed at a floating @latest. The tools build
+// tag is never set; this file only exists to be seen by the module
+// resolver.
+package repro
+
+import (
+	_ "golang.org/x/tools/go/analysis/unitchecker"
+)
