@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	dmi-bench [-runs 3] [-parallel N] [-json FILE] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
+//	dmi-bench [-taskpack FILE] [-runs 3] [-parallel N] [-json FILE] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
 //
-// With no section flags, everything is printed. -parallel serves the
+// With no section flags, everything is printed. -taskpack evaluates a task
+// pack loaded from JSON (see internal/taskpack) instead of the compiled-in
+// osworld-w grid; the built-in grid loaded from its own exported pack
+// produces a byte-identical report. -parallel serves the
 // (setting, task, run) grid from a worker pool sharing the warm models; the
 // report is byte-identical to the sequential run. -json additionally writes
 // a machine-readable throughput baseline (sessions/sec, model-store warm-hit
@@ -27,7 +30,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/bench"
 	"repro/internal/modelstore"
-	"repro/internal/osworld"
+	"repro/internal/taskpack"
 )
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
@@ -50,6 +53,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dmi-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	packFile := fs.String("taskpack", "", "task pack JSON to evaluate (default: the built-in osworld-w grid)")
 	runs := fs.Int("runs", 3, "seeded repetitions per task (paper: 3)")
 	table3 := fs.Bool("table3", false, "print Table 3")
 	fig5a := fs.Bool("fig5a", false, "print Figure 5a")
@@ -69,27 +73,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	all := !*table3 && !*fig5a && !*fig5b && !*fig6 && !*oneshot && !*tokens
 
+	reg, err := loadRegistry(*packFile)
+	if err != nil {
+		return fmt.Errorf("dmi-bench: %w", err)
+	}
+
 	fmt.Fprintf(stderr, "offline phase: modeling the %d-app catalog…\n", len(agent.Factories()))
 	models, err := agent.BuildModelsParallel(*workers)
 	if err != nil {
 		return fmt.Errorf("modeling failed: %w", err)
 	}
 	fmt.Fprintf(stderr, "online phase: %d settings × %d tasks × %d runs (parallel=%d)…\n",
-		len(bench.Matrix()), len(osworld.All()), *runs, *parallel)
+		len(bench.Matrix()), reg.Len(), *runs, *parallel)
 	start := time.Now()
 	// The grid goes through the same Dispatcher seam the distributed
 	// coordinator uses, bound to the in-process LocalDispatcher — so the
 	// single-host path continuously proves the seam behavior-preserving
 	// (the report is byte-identical to the sequential run at any
 	// concurrency).
-	rep, err := bench.RunDispatched(context.Background(), bench.NewLocalDispatcher(models, 1), *runs, *parallel)
+	rep, err := bench.RunDispatchedIn(context.Background(), reg, bench.NewLocalDispatcherIn(reg, models, 1), *runs, *parallel)
 	if err != nil {
 		return fmt.Errorf("online phase: %w", err)
 	}
 	elapsed := time.Since(start)
 
 	if *jsonOut != "" {
-		if err := writeBaseline(*jsonOut, *runs, *parallel, elapsed); err != nil {
+		if err := writeBaseline(*jsonOut, reg, *runs, *parallel, elapsed); err != nil {
 			return fmt.Errorf("baseline: %w", err)
 		}
 		fmt.Fprintf(stderr, "baseline written to %s\n", *jsonOut)
@@ -133,15 +142,34 @@ type baseline struct {
 	WarmHitRatio      float64          `json:"warm_hit_ratio"`
 }
 
-func writeBaseline(path string, runs, parallel int, elapsed time.Duration) error {
-	settings, tasks := len(bench.Matrix()), len(osworld.All())
+// loadRegistry resolves the -taskpack flag to a task registry: the built-in
+// grid when the flag is empty, otherwise a validated pack loaded from the
+// file. Reading the file here keeps internal/taskpack pure ([]byte in, never
+// the filesystem).
+func loadRegistry(path string) (*taskpack.Registry, error) {
+	if path == "" {
+		return taskpack.Builtin(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := taskpack.Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reg, nil
+}
+
+func writeBaseline(path string, reg *taskpack.Registry, runs, parallel int, elapsed time.Duration) error {
+	settings, tasks := len(bench.Matrix()), reg.Len()
 	// Account one warm-model fetch per session start — exactly the store
 	// traffic the serving daemon generates per POST /session. The offline
 	// builds are the only misses, so the warm-hit ratio measures the
 	// serving property itself (one modeling pass amortized over the whole
 	// grid) instead of sitting at a constant.
 	for i := 0; i < settings; i++ {
-		for _, task := range osworld.All() {
+		for _, task := range reg.Tasks() {
 			for r := 0; r < runs; r++ {
 				if _, err := agent.ModelsFor(agent.SharedStore(), task.App, 0); err != nil {
 					return err

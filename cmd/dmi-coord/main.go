@@ -9,12 +9,20 @@
 //
 // Usage:
 //
-//	dmi-coord -replicas http://a:8480,http://b:8480 [-runs 3] [-inflight 4] [-wait 3m] [-json FILE]
+//	dmi-coord -replicas http://a:8480,http://b:8480 [-taskpack FILE] [-runs 3] [-inflight 4] [-wait 3m] [-json FILE]
 //
 // The evaluation report goes to stdout (same sections, same bytes as
 // `dmi-bench`); coordination telemetry — per-replica cell counts, retries,
 // and the aggregate warm-hit ratio scraped from each replica's GET /stats —
 // goes to stderr.
+//
+// The coordinator and every replica must serve the same task pack: cells are
+// resolved by task id on both sides, so mismatched packs would silently score
+// different task content. The coordinator checks each replica's advertised
+// pack identity during the health wait and refuses to dispatch against a
+// mismatched replica, naming the replica and both hashes; every session
+// request additionally carries the pack name and hash, which a mismatched
+// replica rejects with 409.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/modelstore"
 	"repro/internal/serveproto"
+	"repro/internal/taskpack"
 )
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
@@ -65,6 +74,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	fs := flag.NewFlagSet("dmi-coord", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	replicasFlag := fs.String("replicas", "", "comma-separated dmi-serve base URLs (required)")
+	packFile := fs.String("taskpack", "", "task pack JSON to resolve cells from (default: the built-in osworld-w grid); every replica must serve the same pack")
 	runs := fs.Int("runs", 3, "seeded repetitions per task (paper: 3)")
 	inflight := fs.Int("inflight", 4, "max cells in flight per replica")
 	// The default matches RemoteOptions' own: sized to outlast the slowest
@@ -96,24 +106,40 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	}
 	replicas := strings.Split(*replicasFlag, ",")
 
+	reg, err := loadRegistry(*packFile)
+	if err != nil {
+		return fmt.Errorf("dmi-coord: %w", err)
+	}
 	rd, err := bench.NewRemoteDispatcher(replicas, bench.RemoteOptions{
 		InFlight: *inflight,
 		Client:   &http.Client{Timeout: *timeout},
+		Pack:     reg.Name(),
+		PackHash: reg.Hash(),
 	})
 	if err != nil {
 		return fmt.Errorf("dmi-coord: %w", err)
 	}
-	if err := waitHealthy(ctx, rd.Live(), *wait, stderr); err != nil {
+	if err := waitHealthy(ctx, rd.Live(), reg, *wait, stderr); err != nil {
 		return fmt.Errorf("dmi-coord: %w", err)
 	}
 
-	cells := bench.GridCells(*runs)
+	cells := bench.GridCellsIn(reg, *runs)
 	concurrency := *inflight * len(rd.Live())
-	fmt.Fprintf(stderr, "dmi-coord: dispatching %d cells (%d settings × %d tasks, %d runs each) across %d replicas, ≤%d in flight each…\n",
-		len(cells), len(bench.Matrix()), len(cells)/len(bench.Matrix()), *runs, len(rd.Live()), *inflight)
+	fmt.Fprintf(stderr, "dmi-coord: dispatching %d cells (%d settings × %d tasks, %d runs each) from pack %s across %d replicas, ≤%d in flight each…\n",
+		len(cells), len(bench.Matrix()), len(cells)/len(bench.Matrix()), *runs, reg.Name(), len(rd.Live()), *inflight)
 	start := time.Now()
-	rep, err := bench.RunDispatched(ctx, rd, *runs, concurrency)
+	rep, err := bench.RunDispatchedIn(ctx, reg, rd, *runs, concurrency)
 	if err != nil {
+		var mismatch *bench.PackMismatchError
+		if errors.As(err, &mismatch) {
+			// A replica passed the health check but answered a session with
+			// 409 — its pack changed out from under the run (e.g. it was
+			// restarted with a different -taskpack). Name the replica and
+			// both identities so the operator knows exactly what to restart.
+			fmt.Fprintf(stderr, "dmi-coord: pack mismatch: %v\n", mismatch)
+			fmt.Fprintf(stderr, "dmi-coord: restart that replica with the same -taskpack as this coordinator (pack %s, hash %s), or rerun dmi-coord with the replica's pack\n",
+				reg.Name(), reg.Hash())
+		}
 		return fmt.Errorf("dmi-coord: %w", err)
 	}
 	elapsed := time.Since(start)
@@ -168,20 +194,43 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	return nil
 }
 
+// loadRegistry resolves the -taskpack flag to a task registry: the built-in
+// grid when the flag is empty, otherwise a validated pack loaded from the
+// file. Reading the file here keeps internal/taskpack pure ([]byte in, never
+// the filesystem).
+func loadRegistry(path string) (*taskpack.Registry, error) {
+	if path == "" {
+		return taskpack.Builtin(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := taskpack.Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reg, nil
+}
+
 // waitHealthy polls every replica's /healthz until it answers ready or the
-// wait budget runs out. Replicas prewarm the whole catalog before listening
-// on /healthz, so this is where the coordinator absorbs replica startup.
-// The budget is shared across replicas and carried by a context deadline,
-// so a parent cancellation (^C) is distinguishable from the budget running
-// out, and the ticker keeps probes on a fixed cadence instead of drifting
-// by probe latency the way sleep-after-probe loops do.
-func waitHealthy(ctx context.Context, replicas []string, wait time.Duration, stderr io.Writer) error {
+// wait budget runs out, then checks the replica's advertised pack identity
+// against the run's registry — a healthy replica serving the wrong pack is a
+// configuration error worth failing on before any cell is dispatched, with
+// the replica and both hashes named. Replicas prewarm the whole catalog
+// before listening on /healthz, so this is where the coordinator absorbs
+// replica startup. The budget is shared across replicas and carried by a
+// context deadline, so a parent cancellation (^C) is distinguishable from
+// the budget running out, and the ticker keeps probes on a fixed cadence
+// instead of drifting by probe latency the way sleep-after-probe loops do.
+func waitHealthy(ctx context.Context, replicas []string, reg *taskpack.Registry, wait time.Duration, stderr io.Writer) error {
 	ctx, cancel := context.WithTimeout(ctx, wait)
 	defer cancel()
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
 	for _, base := range replicas {
-		for !probeHealthz(ctx, base) {
+		var hz serveproto.Health
+		for !probeHealthz(ctx, base, &hz) {
 			select {
 			case <-ctx.Done():
 				if err := context.Cause(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -190,6 +239,13 @@ func waitHealthy(ctx context.Context, replicas []string, wait time.Duration, std
 				return fmt.Errorf("replica %s not healthy after %s", base, wait)
 			case <-tick.C:
 			}
+		}
+		// An empty advertised pack means a pre-pack replica; the per-session
+		// handshake is skipped for it too, so don't fail the wait.
+		if (hz.Pack != "" && hz.Pack != reg.Name()) ||
+			(hz.PackHash != "" && hz.PackHash != reg.Hash()) {
+			return fmt.Errorf("replica %s serves task pack %s (hash %.12s), this run needs %s (hash %.12s); restart it with the coordinator's -taskpack",
+				base, hz.Pack, hz.PackHash, reg.Name(), reg.Hash())
 		}
 		fmt.Fprintf(stderr, "dmi-coord: replica %s is ready\n", base)
 	}
@@ -201,7 +257,9 @@ func waitHealthy(ctx context.Context, replicas []string, wait time.Duration, std
 // deadline between probes).
 var probeClient = &http.Client{Timeout: 5 * time.Second}
 
-func probeHealthz(ctx context.Context, base string) bool {
+// probeHealthz reports whether base answered /healthz ready, filling *hz
+// with the replica's advertised identity on success.
+func probeHealthz(ctx context.Context, base string, hz *serveproto.Health) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
 		return false
@@ -211,8 +269,8 @@ func probeHealthz(ctx context.Context, base string) bool {
 		return false
 	}
 	defer resp.Body.Close()
-	var hz serveproto.Health
-	return resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&hz) == nil && hz.OK
+	*hz = serveproto.Health{}
+	return resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(hz) == nil && hz.OK
 }
 
 // scrapeStats fetches GET /stats from each replica, skipping unreachable

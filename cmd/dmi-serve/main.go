@@ -10,14 +10,17 @@
 //
 // Usage:
 //
-//	dmi-serve [-addr host:port] [-budget BYTES] [-snapshot DIR] [-workers N] [-parallel N]
+//	dmi-serve [-addr host:port] [-budget BYTES] [-snapshot DIR] [-workers N] [-parallel N] [-taskpack FILE]
+//
+// -taskpack serves a task-pack file (see internal/taskpack) instead of the
+// compiled-in grid. Requests that name a different pack are answered 409.
 //
 // Endpoints (wire types in internal/serveproto):
 //
-//	POST /session  {"app","task","setting","runs"} → the cell's outcomes
+//	POST /session  {"app","task","setting","runs"[,"pack","pack_hash"]} → the cell's outcomes
 //	GET  /stats    store counters (hits, misses, snapshot loads, evictions,
 //	               resident bytes) plus serving totals and warm-hit ratio
-//	GET  /healthz  readiness (the catalog prewarm completed)
+//	GET  /healthz  readiness (the catalog prewarm completed) + served pack identity
 //
 // On SIGINT or SIGTERM the daemon stops accepting connections, drains
 // in-flight sessions, and exits 0 — the clean-stop contract the
@@ -43,6 +46,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/modelstore"
 	"repro/internal/serveproto"
+	"repro/internal/taskpack"
 )
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
@@ -94,6 +98,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	// goroutine per in-flight request); a per-request pool bigger than 1
 	// multiplies that, so it is opt-in for large multi-run requests.
 	parallel := fs.Int("parallel", 1, "per-request session worker-pool size for multi-run cells (1 = sequential, 0 = GOMAXPROCS)")
+	packFile := fs.String("taskpack", "", "task-pack file to serve instead of the compiled-in grid")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
@@ -104,8 +109,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		fmt.Fprintf(stderr, "dmi-serve: unexpected argument %q\n", fs.Arg(0))
 		return errUsage
 	}
+	reg, err := loadRegistry(*packFile)
+	if err != nil {
+		return fmt.Errorf("dmi-serve: %w", err)
+	}
 
-	srv, err := newServer(*budget, *snapshot, *workers, *parallel, stderr)
+	srv, err := newServer(reg, *budget, *snapshot, *workers, *parallel, stderr)
 	if err != nil {
 		return err
 	}
@@ -120,7 +129,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		WriteTimeout:      writeTimeout,
 		IdleTimeout:       idleTimeout,
 	}
-	fmt.Fprintf(stderr, "dmi-serve: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(stderr, "dmi-serve: serving task pack %s (hash %.12s), listening on http://%s\n",
+		srv.reg.Name(), srv.reg.Hash(), ln.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -153,10 +163,29 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	return nil
 }
 
+// loadRegistry resolves the -taskpack flag: the compiled-in grid when empty,
+// a strictly decoded and validated pack file otherwise.
+func loadRegistry(path string) (*taskpack.Registry, error) {
+	if path == "" {
+		return taskpack.Builtin(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := taskpack.Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reg, nil
+}
+
 // server is the daemon state: the budgeted store every session start goes
-// through, the session worker-pool size, and the serving counters.
+// through, the task registry cells resolve against, the session worker-pool
+// size, and the serving counters.
 type server struct {
 	store      *modelstore.Store
+	reg        *taskpack.Registry
 	mux        *http.ServeMux
 	ripWorkers int
 	parallel   int
@@ -173,8 +202,8 @@ type server struct {
 // itself evicts (AppNames order, LRU), which is intended: it populates the
 // snapshot directory so later reloads are rip-free, and it leaves the most
 // recently warmed models resident.
-func newServer(budget int64, snapshotDir string, ripWorkers, parallel int, progress io.Writer) (*server, error) {
-	s := newBareServer(modelstore.NewBudgeted(snapshotDir, budget), ripWorkers, parallel)
+func newServer(reg *taskpack.Registry, budget int64, snapshotDir string, ripWorkers, parallel int, progress io.Writer) (*server, error) {
+	s := newBareServer(modelstore.NewBudgeted(snapshotDir, budget), reg, ripWorkers, parallel)
 	for _, app := range agent.AppNames() {
 		m, err := agent.ModelsFor(s.store, app, ripWorkers)
 		if err != nil {
@@ -192,9 +221,10 @@ func newServer(budget int64, snapshotDir string, ripWorkers, parallel int, progr
 // newBareServer wires the handler state without prewarming; request
 // validation paths are testable through it without paying for a catalog
 // build.
-func newBareServer(store *modelstore.Store, ripWorkers, parallel int) *server {
+func newBareServer(store *modelstore.Store, reg *taskpack.Registry, ripWorkers, parallel int) *server {
 	s := &server{
 		store:      store,
+		reg:        reg,
 		ripWorkers: ripWorkers,
 		parallel:   parallel,
 		coreTokens: make(map[string]int),
@@ -235,7 +265,22 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("runs %d exceeds the %d cap", runs, serveproto.MaxRuns), http.StatusBadRequest)
 		return
 	}
-	set, task, err := bench.ResolveCell(bench.Cell{App: req.App, Task: req.Task, Setting: req.Setting, Runs: runs})
+	// Pack handshake: a request naming a different pack (or the same pack at
+	// a different content hash) must not run — outcomes are pure functions
+	// of the task content, so answering from a mismatched grid would corrupt
+	// the caller's whole report. 409 with both identities tells the operator
+	// exactly which side to restart.
+	if (req.Pack != "" && req.Pack != s.reg.Name()) ||
+		(req.PackHash != "" && req.PackHash != s.reg.Hash()) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(serveproto.PackMismatch{
+			WantPack: req.Pack, WantHash: req.PackHash,
+			HavePack: s.reg.Name(), HaveHash: s.reg.Hash(),
+		})
+		return
+	}
+	set, task, err := bench.ResolveCellIn(s.reg, bench.Cell{App: req.App, Task: req.Task, Setting: req.Setting, Runs: runs})
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, bench.ErrUnknownCell) {
@@ -276,6 +321,8 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		Task:     task.ID,
 		Setting:  set.Label,
 		Runs:     runs,
+		Pack:     s.reg.Name(),
+		PackHash: s.reg.Hash(),
 		Outcomes: outcomes,
 	})
 }
@@ -307,7 +354,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	// The server only exists after the prewarm succeeded, so reachable
 	// means ready.
-	writeJSON(w, serveproto.Health{OK: true, Apps: len(agent.AppNames())})
+	writeJSON(w, serveproto.Health{
+		OK: true, Apps: len(agent.AppNames()),
+		Pack: s.reg.Name(), PackHash: s.reg.Hash(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

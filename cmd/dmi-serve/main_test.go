@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/modelstore"
 	"repro/internal/serveproto"
+	"repro/internal/taskpack"
 )
 
 func TestBadFlagIsAnError(t *testing.T) {
@@ -351,7 +352,7 @@ func TestServeDaemon(t *testing.T) {
 // malformed body stays a 400. Driven against a bare (unprewarmed) server —
 // both paths reject before any model is touched.
 func TestOversizeBodyIs413(t *testing.T) {
-	s := newBareServer(modelstore.New(), 1, 1)
+	s := newBareServer(modelstore.New(), taskpack.Builtin(), 1, 1)
 
 	// A syntactically valid prefix, so the decoder keeps reading until the
 	// byte cap trips rather than bailing on the first malformed character.
@@ -366,6 +367,56 @@ func TestOversizeBodyIs413(t *testing.T) {
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/session", strings.NewReader("{not json")))
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("malformed body: status %d, want 400", rec.Code)
+	}
+}
+
+// TestPackMismatchIs409 pins the pack handshake: a session request naming a
+// different pack (or the right pack at a different hash) is refused with 409
+// and a PackMismatch body carrying both identities, before any model work.
+// Requests that skip the handshake (empty pack fields) are unaffected.
+func TestPackMismatchIs409(t *testing.T) {
+	s := newBareServer(modelstore.New(), taskpack.Builtin(), 1, 1)
+
+	post := func(req serveproto.SessionRequest) *httptest.ResponseRecorder {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/session", bytes.NewReader(body)))
+		return rec
+	}
+
+	for _, req := range []serveproto.SessionRequest{
+		{Task: "word-replace", Setting: "D-M", Runs: 1, Pack: "custom", PackHash: taskpack.Builtin().Hash()},
+		{Task: "word-replace", Setting: "D-M", Runs: 1, Pack: taskpack.BuiltinName, PackHash: "deadbeef"},
+	} {
+		rec := post(req)
+		if rec.Code != http.StatusConflict {
+			t.Fatalf("pack %q hash %q: status %d, want 409; body: %s",
+				req.Pack, req.PackHash, rec.Code, rec.Body.String())
+		}
+		var mm serveproto.PackMismatch
+		if err := json.Unmarshal(rec.Body.Bytes(), &mm); err != nil {
+			t.Fatalf("409 body is not a PackMismatch: %v\n%s", err, rec.Body.String())
+		}
+		if mm.WantPack != req.Pack || mm.WantHash != req.PackHash {
+			t.Errorf("want side not echoed: %+v", mm)
+		}
+		if mm.HavePack != taskpack.BuiltinName || mm.HaveHash != taskpack.Builtin().Hash() {
+			t.Errorf("have side wrong: %+v", mm)
+		}
+	}
+
+	// A matching handshake must pass the gate (and then fail later on the
+	// bare server's empty model store — anything but 409 proves the gate
+	// let it through).
+	rec := post(serveproto.SessionRequest{
+		Task: "word-replace", Setting: "D-M", Runs: 1,
+		Pack: taskpack.BuiltinName, PackHash: taskpack.Builtin().Hash(),
+	})
+	if rec.Code == http.StatusConflict {
+		t.Errorf("matching pack handshake was refused: %s", rec.Body.String())
 	}
 }
 

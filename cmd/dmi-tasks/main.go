@@ -1,10 +1,20 @@
-// Command dmi-tasks lists the benchmark tasks and runs individual ones
-// verbosely — the debugging companion to cmd/dmi-bench.
+// Command dmi-tasks lists the benchmark tasks, runs individual ones
+// verbosely, and is the authoring tool for task packs: it exports the
+// built-in grid as a canonical pack file and validates hand-written packs
+// with line-precise findings — the debugging companion to cmd/dmi-bench.
 //
 // Usage:
 //
-//	dmi-tasks -list
-//	dmi-tasks -run ppt-background [-iface dmi|gui|forest] [-model medium|minimal|mini] [-runs 3]
+//	dmi-tasks -list [-taskpack FILE]
+//	dmi-tasks -run ppt-background [-taskpack FILE] [-iface dmi|gui|forest] [-model medium|minimal|mini] [-runs 3]
+//	dmi-tasks -export FILE   ("-" writes to stdout)
+//	dmi-tasks -validate FILE
+//
+// -export re-emits the compiled-in osworld-w grid in the canonical pack
+// encoding (the committed packs/osworld-w.json is exactly this output).
+// -validate decodes and semantically checks a pack, printing every finding
+// with the line the offending task sits on, and exits non-zero when any
+// finding exists.
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/llm"
 	"repro/internal/osworld"
+	"repro/internal/taskpack"
 )
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
@@ -42,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list all benchmark tasks")
 	runID := fs.String("run", "", "task id to run")
+	export := fs.String("export", "", "write the built-in grid as a canonical task pack to this file (\"-\" = stdout)")
+	validate := fs.String("validate", "", "validate a task pack file and report every finding")
+	packFile := fs.String("taskpack", "", "task pack JSON for -list/-run (default: the built-in osworld-w grid)")
 	iface := fs.String("iface", "dmi", "interface: dmi, gui, forest")
 	model := fs.String("model", "medium", "model: medium, minimal, mini")
 	runs := fs.Int("runs", 3, "seeded repetitions")
@@ -52,21 +66,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return errUsage
 	}
 
+	if *export != "" {
+		return exportPack(*export, stdout, stderr)
+	}
+	if *validate != "" {
+		return validatePack(*validate, stdout)
+	}
+
+	reg, err := loadRegistry(*packFile)
+	if err != nil {
+		return fmt.Errorf("dmi-tasks: %w", err)
+	}
+
 	if *list {
 		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "id\tapp\tplan steps\tdescription")
-		for _, t := range osworld.All() {
-			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", t.ID, t.App, len(t.Plan), t.Description)
+		fmt.Fprintln(tw, "id\tapp\tplan steps\tambiguity\ttraps\tdescription")
+		for _, t := range reg.Tasks() {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%d\t%s\n",
+				t.ID, t.App, len(t.Plan), t.Ambiguity, trapCount(t), t.Description)
 		}
 		return tw.Flush()
 	}
 	if *runID == "" {
-		fmt.Fprintln(stderr, "one of -list or -run is required")
+		fmt.Fprintln(stderr, "one of -list, -run, -export, or -validate is required")
 		fs.Usage()
 		return errUsage // usage error: same exit class as a bad flag
 	}
 
-	task, ok := osworld.ByID(*runID)
+	task, ok := reg.ByID(*runID)
 	if !ok {
 		return fmt.Errorf("unknown task %q (use -list)", *runID)
 	}
@@ -99,6 +126,87 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "\nsuccess rate: %d/%d\n", wins, *runs)
 	return nil
+}
+
+// exportPack writes the built-in grid in the canonical pack encoding — the
+// byte-exact content of the committed packs/osworld-w.json, which CI
+// regenerates and diffs to keep the file honest.
+func exportPack(path string, stdout, stderr io.Writer) error {
+	p, err := taskpack.BuiltinPack()
+	if err != nil {
+		return fmt.Errorf("dmi-tasks: render built-in pack: %w", err)
+	}
+	data, err := p.Encode()
+	if err != nil {
+		return fmt.Errorf("dmi-tasks: encode pack: %w", err)
+	}
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("dmi-tasks: %w", err)
+	}
+	hash, err := p.Hash()
+	if err != nil {
+		return fmt.Errorf("dmi-tasks: %w", err)
+	}
+	fmt.Fprintf(stderr, "dmi-tasks: wrote pack %s (%d tasks, hash %.12s) to %s\n",
+		p.Name, len(p.Tasks), hash, path)
+	return nil
+}
+
+// validatePack reports every finding in a pack file, one per line, and
+// returns an error (non-zero exit) when any exists.
+func validatePack(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("dmi-tasks: %w", err)
+	}
+	issues := taskpack.Validate(data)
+	for _, is := range issues {
+		fmt.Fprintf(stdout, "%s: %s\n", path, is)
+	}
+	switch len(issues) {
+	case 0:
+		fmt.Fprintf(stdout, "%s: ok\n", path)
+		return nil
+	case 1:
+		return fmt.Errorf("dmi-tasks: %s failed validation with 1 issue", path)
+	default:
+		return fmt.Errorf("dmi-tasks: %s failed validation with %d issues", path, len(issues))
+	}
+}
+
+// loadRegistry resolves the -taskpack flag to a task registry: the built-in
+// grid when the flag is empty, otherwise a validated pack loaded from the
+// file. Reading the file here keeps internal/taskpack pure ([]byte in, never
+// the filesystem).
+func loadRegistry(path string) (*taskpack.Registry, error) {
+	if path == "" {
+		return taskpack.Builtin(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := taskpack.Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reg, nil
+}
+
+// trapCount is the number of plan steps carrying a modeled misinterpretation
+// — the same predicate the pack encoder uses to decide a step has a trap.
+func trapCount(t osworld.Task) int {
+	n := 0
+	for _, s := range t.Plan {
+		if s.TrapKind != "" || s.TrapWeight != 0 || s.TrapAlt != nil {
+			n++
+		}
+	}
+	return n
 }
 
 func interfaceOf(s string) agent.Interface {

@@ -49,12 +49,16 @@ import (
 )
 
 // Scope lists the pure packages: the session executor layers and the rip
-// pipeline whose outputs must be functions of their arguments alone.
+// pipeline whose outputs must be functions of their arguments alone, plus
+// the task-pack codec — packs are decoded from caller-supplied bytes and
+// hashed into run identity, so the package must never touch the filesystem,
+// clock, or environment (cmd/* reads the pack file and passes bytes in).
 var Scope = []string{
 	"repro/internal/agent",
 	"repro/internal/core",
 	"repro/internal/describe",
 	"repro/internal/llm",
+	"repro/internal/taskpack",
 	"repro/internal/ung",
 }
 

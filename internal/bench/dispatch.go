@@ -16,6 +16,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/osworld"
 	"repro/internal/serveproto"
+	"repro/internal/taskpack"
 )
 
 // Cell is one serializable job unit of the evaluation grid: a (setting,
@@ -41,13 +42,19 @@ type Dispatcher interface {
 	Dispatch(ctx context.Context, cell Cell) ([]agent.Outcome, error)
 }
 
-// GridCells enumerates the full evaluation grid in grid order
-// (settings-major over the Table 3 matrix, then tasks): the canonical cell
-// sequence every dispatcher-backed run fans out and every aggregation
-// depends on.
+// GridCells enumerates the full evaluation grid over the compiled-in task
+// pack. See GridCellsIn.
 func GridCells(runs int) []Cell {
+	return GridCellsIn(taskpack.Builtin(), runs)
+}
+
+// GridCellsIn enumerates the full evaluation grid over a task registry in
+// grid order (settings-major over the Table 3 matrix, then tasks in pack
+// order): the canonical cell sequence every dispatcher-backed run fans out
+// and every aggregation depends on.
+func GridCellsIn(reg *taskpack.Registry, runs int) []Cell {
 	settings := Matrix()
-	tasks := osworld.All()
+	tasks := reg.Tasks()
 	cells := make([]Cell, 0, len(settings)*len(tasks))
 	for _, set := range settings {
 		for _, task := range tasks {
@@ -62,11 +69,17 @@ func GridCells(runs int) []Cell {
 // serving daemon maps it to 404 versus 400.
 var ErrUnknownCell = errors.New("unknown")
 
-// ResolveCell validates a cell against the catalog and the matrix. It is
-// the shared gate: the local dispatcher uses it before executing, and the
-// serving daemon applies the same checks to inbound requests.
+// ResolveCell validates a cell against the compiled-in pack and the matrix.
+// See ResolveCellIn.
 func ResolveCell(cell Cell) (Setting, osworld.Task, error) {
-	task, ok := osworld.ByID(cell.Task)
+	return ResolveCellIn(taskpack.Builtin(), cell)
+}
+
+// ResolveCellIn validates a cell against a task registry and the matrix. It
+// is the shared gate: the local dispatcher uses it before executing, and the
+// serving daemon applies the same checks to inbound requests.
+func ResolveCellIn(reg *taskpack.Registry, cell Cell) (Setting, osworld.Task, error) {
+	task, ok := reg.ByID(cell.Task)
 	if !ok {
 		return Setting{}, osworld.Task{}, fmt.Errorf("%w task %q", ErrUnknownCell, cell.Task)
 	}
@@ -88,14 +101,21 @@ func ResolveCell(cell Cell) (Setting, osworld.Task, error) {
 // seam. workers sizes the per-cell session pool (1 = each cell's runs are
 // sequential; cross-cell concurrency comes from RunDispatched).
 type LocalDispatcher struct {
+	reg     *taskpack.Registry
 	models  *agent.Models
 	workers int
 }
 
-// NewLocalDispatcher wraps warm models as a dispatcher. workers <= 1 runs a
-// cell's repetitions sequentially.
+// NewLocalDispatcher wraps warm models as a dispatcher over the compiled-in
+// pack. workers <= 1 runs a cell's repetitions sequentially.
 func NewLocalDispatcher(models *agent.Models, workers int) *LocalDispatcher {
-	return &LocalDispatcher{models: models, workers: workers}
+	return NewLocalDispatcherIn(taskpack.Builtin(), models, workers)
+}
+
+// NewLocalDispatcherIn wraps warm models as a dispatcher resolving cells
+// against a task registry.
+func NewLocalDispatcherIn(reg *taskpack.Registry, models *agent.Models, workers int) *LocalDispatcher {
+	return &LocalDispatcher{reg: reg, models: models, workers: workers}
 }
 
 // Dispatch runs the cell through RunCell: same RNG streams, same run order,
@@ -104,31 +124,37 @@ func (d *LocalDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Outc
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	set, task, err := ResolveCell(cell)
+	set, task, err := ResolveCellIn(d.reg, cell)
 	if err != nil {
 		return nil, err
 	}
 	return RunCell(d.models, set, task, cell.Runs, d.workers), nil
 }
 
-// RunDispatched executes the full evaluation grid through a dispatcher with
-// up to `concurrency` cells in flight (<= 0 uses GOMAXPROCS), collects the
-// outcomes in grid order, and aggregates them sequentially — so the Report
-// is byte-identical to the in-process Run whenever the dispatcher honors
-// the cell contract, regardless of which replica ran which cell or in what
-// order they finished. The first dispatch error cancels the remaining cells
-// and is returned.
+// RunDispatched executes the full evaluation grid over the compiled-in task
+// pack. See RunDispatchedIn.
 func RunDispatched(ctx context.Context, d Dispatcher, runs, concurrency int) (*Report, error) {
+	return RunDispatchedIn(ctx, taskpack.Builtin(), d, runs, concurrency)
+}
+
+// RunDispatchedIn executes a task registry's full evaluation grid through a
+// dispatcher with up to `concurrency` cells in flight (<= 0 uses
+// GOMAXPROCS), collects the outcomes in grid order, and aggregates them
+// sequentially — so the Report is byte-identical to the in-process Run
+// whenever the dispatcher honors the cell contract, regardless of which
+// replica ran which cell or in what order they finished. The first dispatch
+// error cancels the remaining cells and is returned.
+func RunDispatchedIn(ctx context.Context, reg *taskpack.Registry, d Dispatcher, runs, concurrency int) (*Report, error) {
 	if concurrency <= 0 {
 		concurrency = runtime.GOMAXPROCS(0)
 	}
 	settings := Matrix()
-	tasks := osworld.All()
+	tasks := reg.Tasks()
 	var cells []Cell
 	if runs > 0 {
 		// runs <= 0 dispatches nothing and aggregates an empty report —
 		// the same zeroed rows the pre-dispatcher executeGrid produced.
-		cells = GridCells(runs)
+		cells = GridCellsIn(reg, runs)
 	}
 	out := make([][]agent.Outcome, len(cells))
 
@@ -237,6 +263,14 @@ type RemoteOptions struct {
 	// stall — sized to outlast the slowest legitimate cell (a max-runs
 	// request against a cold model). Supply your own client to tighten it.
 	Client *http.Client
+	// Pack and PackHash stamp every session request with the task pack this
+	// run resolves cells against. A replica serving a different pack rejects
+	// the request with 409 instead of silently answering from different task
+	// content — outcomes are pure functions of (pack, setting, task, run), so
+	// a pack mismatch would corrupt the whole report, not just one cell.
+	// Empty values skip the handshake (legacy behavior).
+	Pack     string
+	PackHash string
 }
 
 // RemoteDispatcher shards cells across N dmi-serve replicas over the
@@ -250,6 +284,8 @@ type RemoteOptions struct {
 type RemoteDispatcher struct {
 	replicas []*replica
 	client   *http.Client
+	pack     string
+	packHash string
 
 	mu      sync.Mutex
 	retries int // cells re-dispatched after a replica failure
@@ -279,7 +315,7 @@ func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatche
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Minute}
 	}
-	d := &RemoteDispatcher{client: client}
+	d := &RemoteDispatcher{client: client, pack: opt.Pack, packHash: opt.PackHash}
 	seen := make(map[string]bool)
 	for _, raw := range baseURLs {
 		base := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -349,6 +385,13 @@ func (d *RemoteDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Out
 			// The run was cancelled; the replica is not to blame.
 			return nil, ctx.Err()
 		}
+		var mismatch *PackMismatchError
+		if errors.As(err, &mismatch) {
+			// The replica is healthy but serving different task content; the
+			// operator must restart one side with a matching pack, so keep
+			// the replica up and surface the named error immediately.
+			return nil, err
+		}
 		var bad *requestError
 		if errors.As(err, &bad) {
 			// The cell itself is invalid; every replica would agree.
@@ -393,11 +436,26 @@ type requestError struct{ msg string }
 
 func (e *requestError) Error() string { return e.msg }
 
+// PackMismatchError reports a replica that is alive and well but serving a
+// different task pack than the run dispatches against. It names both sides
+// so the operator knows exactly which replica to restart and with what.
+type PackMismatchError struct {
+	Replica            string // replica base URL
+	WantPack, WantHash string // the pack this run dispatches against
+	HavePack, HaveHash string // the pack the replica is serving
+}
+
+func (e *PackMismatchError) Error() string {
+	return fmt.Sprintf("replica %s serves task pack %s (hash %.12s), this run needs %s (hash %.12s)",
+		e.Replica, e.HavePack, e.HaveHash, e.WantPack, e.WantHash)
+}
+
 // post runs one POST /session round trip and validates the response against
 // the cell contract.
 func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([]agent.Outcome, error) {
 	body, err := json.Marshal(serveproto.SessionRequest{
 		App: cell.App, Task: cell.Task, Setting: cell.Setting, Runs: cell.Runs,
+		Pack: d.pack, PackHash: d.packHash,
 	})
 	if err != nil {
 		return nil, err
@@ -412,6 +470,17 @@ func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		var pm serveproto.PackMismatch
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1024)).Decode(&pm); err == nil {
+			return nil, &PackMismatchError{
+				Replica:  rep.base,
+				WantPack: pm.WantPack, WantHash: pm.WantHash,
+				HavePack: pm.HavePack, HaveHash: pm.HaveHash,
+			}
+		}
+		return nil, &requestError{msg: fmt.Sprintf("status %d: unreadable pack-mismatch body", resp.StatusCode)}
+	}
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 		msg := fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))

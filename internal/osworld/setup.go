@@ -1,0 +1,31 @@
+package osworld
+
+// Setup ops. A task's environment starts from its application factory's
+// defaults; setup ops declare the deltas (seed paragraphs, seeded cells,
+// deck size, settings state) that the old Build closures applied in code.
+// Each op is interpreted by the application's env builder in envs.go — the
+// five app factories stay the only compiled-in part of a task.
+const (
+	// SetupWordParagraphs seeds the document with Texts instead of the
+	// default paragraphs (applied at construction, like word.New(texts...)).
+	SetupWordParagraphs = "word-paragraphs"
+	// SetupExcelSetCell writes the string Value into the cell at Ref.
+	SetupExcelSetCell = "excel-set-cell"
+	// SetupSlidesDeck sizes the deck to Count slides (applied at
+	// construction, like slides.New(count)).
+	SetupSlidesDeck = "slides-deck"
+	// SetupSettingsSet sets the settings-state field named by Path to Value
+	// (bool or string, matching the field).
+	SetupSettingsSet = "settings-set"
+)
+
+// SetupOp is one declarative environment-preparation step. Only the fields
+// its Op names are meaningful; the rest stay zero.
+type SetupOp struct {
+	Op    string
+	Texts []string // SetupWordParagraphs
+	Ref   string   // SetupExcelSetCell
+	Path  string   // SetupSettingsSet
+	Value any      // SetupExcelSetCell (string), SetupSettingsSet (bool/string)
+	Count int      // SetupSlidesDeck
+}

@@ -1,19 +1,16 @@
 package osworld
 
 import (
-	"strings"
-
-	"repro/internal/apps/filemgr"
-	"repro/internal/apps/settings"
-	"repro/internal/office/excel"
-	"repro/internal/office/slides"
-	"repro/internal/office/word"
 	"repro/internal/uia"
 )
 
 // All returns the 39-task benchmark: 9 Word, 9 Excel, 9 PowerPoint
 // single-application scenarios (the OSWorld-W shape the paper evaluates)
-// plus 6 Settings and 6 Files scenarios from the extended catalog.
+// plus 6 Settings and 6 Files scenarios from the extended catalog. Every
+// task is pure data — setup ops and a verify condition instead of closures —
+// so this grid is also the reference content of packs/osworld-w.json, and
+// taskpack.Builtin serves it behind the same registry interface a loaded
+// pack gets.
 func All() []Task {
 	var ts []Task
 	ts = append(ts, wordTasks()...)
@@ -56,17 +53,15 @@ func wordTasks() []Task {
 			ID: "word-replace", App: "Word",
 			Description: "Replace every occurrence of 'alpha' with 'omega' in the document.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				w := word.New(
-					"The alpha release shipped late.",
-					"Feedback on alpha was mixed, though alpha adoption grew.",
-					"Next milestone: beta.",
-				)
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return w.Doc.CountOccurrences("alpha") == 0 &&
-						w.Doc.CountOccurrences("omega") == 3
-				}}
-			},
+			Setup: []SetupOp{{Op: SetupWordParagraphs, Texts: []string{
+				"The alpha release shipped late.",
+				"Feedback on alpha was mixed, though alpha adoption grew.",
+				"Next milestone: beta.",
+			}}},
+			Verify: AllOf(
+				Eq("occurrences.alpha", 0.0),
+				Eq("occurrences.omega", 3.0),
+			),
 			Plan: []PlanStep{
 				input("edFindWhat", "alpha"),
 				input("edReplaceWith", "omega"),
@@ -79,14 +74,11 @@ func wordTasks() []Task {
 			ID: "word-font-color", App: "Word",
 			Description: "Color the text of paragraphs 2 and 3 blue.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return w.Doc.Paras[1].FontColor == "Blue" &&
-						w.Doc.Paras[2].FontColor == "Blue" &&
-						w.Doc.Paras[0].FontColor != "Blue"
-				}}
-			},
+			Verify: AllOf(
+				Eq("para.2.font-color", "Blue"),
+				Eq("para.3.font-color", "Blue"),
+				Not(Eq("para.1.font-color", "Blue")),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
 					ControlName: "Document", ControlType: uia.DocumentControl,
@@ -101,14 +93,11 @@ func wordTasks() []Task {
 			ID: "word-underline-color", App: "Word",
 			Description: "Give the first paragraph a red underline.",
 			Ambiguity:   0.25,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return w.Doc.Paras[0].Underline &&
-						w.Doc.Paras[0].UnderlineColor == "Red" &&
-						w.Doc.Paras[0].FontColor != "Red"
-				}}
-			},
+			Verify: AllOf(
+				Eq("para.1.underline", true),
+				Eq("para.1.underline-color", "Red"),
+				Not(Eq("para.1.font-color", "Red")),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
 					ControlName: "Document", ControlType: uia.DocumentControl,
@@ -125,13 +114,12 @@ func wordTasks() []Task {
 			ID: "word-bold", App: "Word",
 			Description: "Make paragraphs 2 through 4 bold.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return !w.Doc.Paras[0].Bold && w.Doc.Paras[1].Bold &&
-						w.Doc.Paras[2].Bold && w.Doc.Paras[3].Bold
-				}}
-			},
+			Verify: AllOf(
+				Not(Eq("para.1.bold", true)),
+				Eq("para.2.bold", true),
+				Eq("para.3.bold", true),
+				Eq("para.4.bold", true),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
 					ControlName: "Document", ControlType: uia.DocumentControl,
@@ -143,29 +131,20 @@ func wordTasks() []Task {
 			ID: "word-orientation", App: "Word",
 			Description: "Switch the page to landscape orientation.",
 			Ambiguity:   0.05,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return w.Doc.Orientation == "Landscape"
-				}}
-			},
-			Plan: []PlanStep{access("Landscape", "mnuOrientation")},
+			Verify:      Eq("orientation", "Landscape"),
+			Plan:        []PlanStep{access("Landscape", "mnuOrientation")},
 		},
 		{
 			ID: "word-line-spacing", App: "Word",
 			Description: "Set the line spacing of the whole document to 1.5.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					for _, p := range w.Doc.Paras {
-						if p.LineSpacing != 1.5 {
-							return false
-						}
-					}
-					return true
-				}}
-			},
+			Verify: AllOf(
+				Eq("para.1.line-spacing", 1.5),
+				Eq("para.2.line-spacing", 1.5),
+				Eq("para.3.line-spacing", 1.5),
+				Eq("para.4.line-spacing", 1.5),
+				Eq("para.5.line-spacing", 1.5),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "select_paragraphs",
 					ControlName: "Document", ControlType: uia.DocumentControl,
@@ -181,13 +160,10 @@ func wordTasks() []Task {
 			ID: "word-table", App: "Word",
 			Description: "Insert a table with 4 columns and 3 rows.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					tbl, ok := w.Doc.LastTable()
-					return ok && tbl.Cols == 4 && tbl.Rows == 3
-				}}
-			},
+			Verify: AllOf(
+				Eq("table.last.cols", 4.0),
+				Eq("table.last.rows", 3.0),
+			),
 			Plan: []PlanStep{
 				// "4x3" reads columns×rows in the grid; transposing it is
 				// the classic control-semantics slip.
@@ -200,12 +176,7 @@ func wordTasks() []Task {
 			ID: "word-save-as", App: "Word",
 			Description: "Save the document under the name 'report_final'.",
 			Ambiguity:   0.05,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return w.Doc.Saved == "report_final"
-				}}
-			},
+			Verify:      Eq("saved", "report_final"),
 			Plan: []PlanStep{
 				input("saveAsName", "report_final"),
 				access("dlgSaveAsOK", ""),
@@ -215,12 +186,7 @@ func wordTasks() []Task {
 			ID: "word-header", App: "Word",
 			Description: "Add the Austin header to the document.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				w := word.New()
-				return &Env{App: w.App, Kind: "Word", verify: func(*Env) bool {
-					return w.Doc.Header == "Austin Header"
-				}}
-			},
+			Verify:      Eq("header", "Austin Header"),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "Austin Header", GIDContains: "galHeader"},
 					Ambiguity: 0.2,
@@ -239,17 +205,14 @@ func excelTasks() []Task {
 			ID: "excel-percentage", App: "Excel",
 			Description: "Format cells B2 through B6 as percentages.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					for _, ref := range []string{"B2", "B3", "B4", "B5", "B6"} {
-						if x.Sheet.Cell(ref).Format != "Percentage" {
-							return false
-						}
-					}
-					return x.Sheet.Cell("C2").Format != "Percentage"
-				}}
-			},
+			Verify: AllOf(
+				Eq("cell.B2.format", "Percentage"),
+				Eq("cell.B3.format", "Percentage"),
+				Eq("cell.B4.format", "Percentage"),
+				Eq("cell.B5.format", "Percentage"),
+				Eq("cell.B6.format", "Percentage"),
+				Not(Eq("cell.C2.format", "Percentage")),
+			),
 			Plan: []PlanStep{
 				input("edNameBox", "B2:B6"),
 				key("ENTER"),
@@ -261,18 +224,14 @@ func excelTasks() []Task {
 			ID: "excel-cond-format", App: "Excel",
 			Description: "Highlight sales greater than 100 in B2:B6 using conditional formatting.",
 			Ambiguity:   0.25,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					want := map[string]bool{"B2": true, "B3": false, "B4": true, "B5": false, "B6": true}
-					for ref, hl := range want {
-						if (x.Sheet.Cell(ref).Fill != "") != hl {
-							return false
-						}
-					}
-					return len(x.Sheet.CondRules) > 0
-				}}
-			},
+			Verify: AllOf(
+				Not(Eq("cell.B2.fill", "")),
+				Eq("cell.B3.fill", ""),
+				Not(Eq("cell.B4.fill", "")),
+				Eq("cell.B5.fill", ""),
+				Not(Eq("cell.B6.fill", "")),
+				AtLeast("cond-rules", 1),
+			),
 			Plan: []PlanStep{
 				input("edNameBox", "B2:B6"),
 				key("ENTER"),
@@ -285,14 +244,12 @@ func excelTasks() []Task {
 			ID: "excel-sort", App: "Excel",
 			Description: "Sort the data by the Sales column, largest first.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					col := x.Sheet.Column("B")
-					return len(col) >= 6 && col[1] == "143" && col[5] == "88" &&
-						x.Sheet.Value("A2") == "East"
-				}}
-			},
+			Verify: AllOf(
+				AtLeast("used-rows", 6),
+				Eq("cell.B2.value", "143"),
+				Eq("cell.B6.value", "88"),
+				Eq("cell.A2.value", "East"),
+			),
 			Plan: []PlanStep{
 				// "Sales" is column B: a semantic mapping the model must get
 				// right from the sheet content.
@@ -308,12 +265,10 @@ func excelTasks() []Task {
 			ID: "excel-freeze", App: "Excel",
 			Description: "Keep the header row visible while scrolling.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					return x.Sheet.FrozenTopRow && !x.Sheet.FrozenFirstCol
-				}}
-			},
+			Verify: AllOf(
+				Eq("frozen-top-row", true),
+				Eq("frozen-first-col", false),
+			),
 			Plan: []PlanStep{
 				// "Freeze Panes" (freezes row AND column at the cursor) is
 				// the misinterpretation; "Freeze Top Row" is correct.
@@ -326,12 +281,7 @@ func excelTasks() []Task {
 			ID: "excel-formula", App: "Excel",
 			Description: "Put the formula =SUM(B2:B6) into cell D2.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					return x.Sheet.Value("D2") == "=SUM(B2:B6)"
-				}}
-			},
+			Verify:      Eq("cell.D2.value", "=SUM(B2:B6)"),
 			Plan: []PlanStep{
 				input("edNameBox", "D2"),
 				key("ENTER"),
@@ -346,14 +296,9 @@ func excelTasks() []Task {
 			ID: "excel-read-cell", App: "Excel",
 			Description: "Report the value stored in cell C22.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				x := excel.New()
-				x.Sheet.SetValue("C22", "1379.25")
-				return &Env{App: x.App, Kind: "Excel", Expected: "1379.25",
-					verify: func(e *Env) bool {
-						return strings.TrimSpace(e.Answer) == e.Expected
-					}}
-			},
+			Expected:    "1379.25",
+			Setup:       []SetupOp{{Op: SetupExcelSetCell, Ref: "C22", Value: "1379.25"}},
+			Verify:      AnswerIsExpected(),
 			Plan: []PlanStep{
 				input("edNameBox", "C22"),
 				key("ENTER"),
@@ -364,12 +309,10 @@ func excelTasks() []Task {
 			ID: "excel-col-width", App: "Excel",
 			Description: "Set the width of columns B and C to 20.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					return x.Sheet.ColWidth["B"] == 20 && x.Sheet.ColWidth["C"] == 20
-				}}
-			},
+			Verify: AllOf(
+				Eq("col-width.B", 20.0),
+				Eq("col-width.C", 20.0),
+			),
 			Plan: []PlanStep{
 				input("edNameBox", "B1:C1"),
 				key("ENTER"),
@@ -384,17 +327,7 @@ func excelTasks() []Task {
 			ID: "excel-chart", App: "Excel",
 			Description: "Insert a pie chart for the sales data.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					for _, c := range x.Sheet.Charts {
-						if c == "Pie" {
-							return true
-						}
-					}
-					return false
-				}}
-			},
+			Verify:      Eq("charts.Pie", true),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "Pie", GIDContains: "galQuickCharts"},
 					Ambiguity: 0.15,
@@ -406,15 +339,12 @@ func excelTasks() []Task {
 			ID: "excel-fill-color", App: "Excel",
 			Description: "Shade the header row A1:C1 gold.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				x := excel.New()
-				return &Env{App: x.App, Kind: "Excel", verify: func(*Env) bool {
-					return x.Sheet.Cell("A1").Fill == "Gold" &&
-						x.Sheet.Cell("B1").Fill == "Gold" &&
-						x.Sheet.Cell("C1").Fill == "Gold" &&
-						x.Sheet.Cell("A1").FontColor != "Gold"
-				}}
-			},
+			Verify: AllOf(
+				Eq("cell.A1.fill", "Gold"),
+				Eq("cell.B1.fill", "Gold"),
+				Eq("cell.C1.fill", "Gold"),
+				Not(Eq("cell.A1.font-color", "Gold")),
+			),
 			Plan: []PlanStep{
 				input("edNameBox", "A1:C1"),
 				key("ENTER"),
@@ -436,12 +366,8 @@ func slidesTasks() []Task {
 			ID: "ppt-background", App: "PowerPoint",
 			Description: "Make the background blue on all slides.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				p := slides.New(12)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.Deck.AllBackgrounds("Blue")
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 12}},
+			Verify:      Eq("all-backgrounds.Blue", true),
 			Plan: []PlanStep{
 				access("Solid fill", "rbFill"),
 				accessVia("Blue", "clrPickerStd", "btnFillColor"),
@@ -455,12 +381,8 @@ func slidesTasks() []Task {
 			ID: "ppt-scroll", App: "PowerPoint",
 			Description: "Show the slides close to the end of the deck in the thumbnail panel.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				p := slides.New(12)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.ThumbTop() >= 4
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 12}},
+			Verify:      AtLeast("thumb-top", 4),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "scrollbar",
 					ControlName: "Slides Vertical Scroll Bar",
@@ -472,13 +394,11 @@ func slidesTasks() []Task {
 			ID: "ppt-new-slide", App: "PowerPoint",
 			Description: "Add a new slide that uses the Title Only layout.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				p := slides.New(5)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return len(p.Deck.Slides) == 6 &&
-						p.Deck.CurrentSlide().Layout == "Title Only"
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 5}},
+			Verify: AllOf(
+				Eq("slide-count", 6.0),
+				Eq("current-slide.layout", "Title Only"),
+			),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "Title Only",
 					GIDContains: "galLayouts", Via: "btnNewSlide"},
@@ -490,12 +410,8 @@ func slidesTasks() []Task {
 			ID: "ppt-transition", App: "PowerPoint",
 			Description: "Apply the Fade transition to every slide.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				p := slides.New(8)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.Deck.AllTransitions("Fade")
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 8}},
+			Verify:      Eq("all-transitions.Fade", true),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "Fade", GIDContains: "galTransitions"},
 					Ambiguity: 0.15},
@@ -507,12 +423,11 @@ func slidesTasks() []Task {
 			ID: "ppt-picture-border", App: "PowerPoint",
 			Description: "Insert a picture and give it a green border.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				p := slides.New(6)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.PictureBorder == "Green" && p.ContextActive(slides.ContextImageSelected)
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 6}},
+			Verify: AllOf(
+				Eq("picture-border", "Green"),
+				Eq("context.image-selected", true),
+			),
 			Plan: []PlanStep{
 				access("pPictures", ""),
 				// The border picker lives behind a context-dependent tab.
@@ -523,12 +438,8 @@ func slidesTasks() []Task {
 			ID: "ppt-slide-size", App: "PowerPoint",
 			Description: "Change the slide size to the standard 4:3 format.",
 			Ambiguity:   0.05,
-			Build: func() *Env {
-				p := slides.New(6)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.Deck.SlideSize == "Standard (4:3)"
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 6}},
+			Verify:      Eq("slide-size", "Standard (4:3)"),
 			Plan: []PlanStep{
 				access("Standard (4:3)", "mnuSlideSize"),
 			},
@@ -537,13 +448,11 @@ func slidesTasks() []Task {
 			ID: "ppt-font-size", App: "PowerPoint",
 			Description: "Set the title of slide 2 to font size 48.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				p := slides.New(6)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.Deck.Slides[1].Title().FontSize == 48 &&
-						p.Deck.Slides[0].Title().FontSize != 48
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 6}},
+			Verify: AllOf(
+				Eq("slide.2.title.font-size", 48.0),
+				Not(Eq("slide.1.title.font-size", 48.0)),
+			),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "thumbSlide2"}, VisualDiff: 0.3,
 					TrapKind: FailSubtleSem, TrapWeight: 0.3, TrapAlt: nil},
@@ -556,12 +465,11 @@ func slidesTasks() []Task {
 			ID: "ppt-hide-slide", App: "PowerPoint",
 			Description: "Hide slide 3 so it is skipped during the show.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				p := slides.New(6)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.Deck.Slides[2].Hidden && !p.Deck.Slides[1].Hidden
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 6}},
+			Verify: AllOf(
+				Eq("slide.3.hidden", true),
+				Eq("slide.2.hidden", false),
+			),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "thumbSlide3"}, VisualDiff: 0.3,
 					TrapKind: FailAmbiguousTask, TrapWeight: 0.2,
@@ -573,12 +481,8 @@ func slidesTasks() []Task {
 			ID: "ppt-title-edit", App: "PowerPoint",
 			Description: "Change the title of slide 2 to 'Quarterly Review'.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				p := slides.New(6)
-				return &Env{App: p.App, Kind: "PowerPoint", verify: func(*Env) bool {
-					return p.Deck.Slides[1].Title().Text == "Quarterly Review"
-				}}
-			},
+			Setup:       []SetupOp{{Op: SetupSlidesDeck, Count: 6}},
+			Verify:      Eq("slide.2.title.text", "Quarterly Review"),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "thumbSlide2"}, VisualDiff: 0.3},
 				input("shpTitle", "Quarterly Review"),
@@ -595,12 +499,10 @@ func settingsTasks() []Task {
 			ID: "settings-night-light", App: "Settings",
 			Description: "Turn on night light to cut down blue light in the evenings.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				s := settings.New()
-				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
-					return s.State.NightLight && s.State.Theme != "Dark"
-				}}
-			},
+			Verify: AllOf(
+				Eq("state.night-light", true),
+				Not(Eq("state.theme", "Dark")),
+			),
 			Plan: []PlanStep{
 				// Night light vs dark mode is the settings-panel analog of
 				// the font-color/highlight confusion.
@@ -613,12 +515,10 @@ func settingsTasks() []Task {
 			ID: "settings-dark-mode", App: "Settings",
 			Description: "Switch the interface to dark mode.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				s := settings.New()
-				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
-					return s.State.Theme == "Dark" && !s.State.NightLight
-				}}
-			},
+			Verify: AllOf(
+				Eq("state.theme", "Dark"),
+				Eq("state.night-light", false),
+			),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "Dark", GIDContains: "mnuTheme"},
 					Ambiguity: 0.15, TrapKind: FailControlSem, TrapWeight: 0.5,
@@ -629,12 +529,10 @@ func settingsTasks() []Task {
 			ID: "settings-brightness", App: "Settings",
 			Description: "Set the display brightness to 80 percent.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				s := settings.New()
-				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
-					return s.State.Brightness == 80 && s.State.Volume != 80
-				}}
-			},
+			Verify: AllOf(
+				Eq("state.brightness", 80.0),
+				Not(Eq("state.volume", 80.0)),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "set_range_value",
 					ControlName: "Brightness", ControlType: uia.SpinnerControl,
@@ -645,13 +543,10 @@ func settingsTasks() []Task {
 			ID: "settings-accent-color", App: "Settings",
 			Description: "Make the accent color purple.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				s := settings.New()
-				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
-					return s.State.AccentColor == "Purple" &&
-						s.State.BackgroundColor != "Purple"
-				}}
-			},
+			Verify: AllOf(
+				Eq("state.accent-color", "Purple"),
+				Not(Eq("state.background-color", "Purple")),
+			),
 			Plan: []PlanStep{
 				// Accent vs background color: same shared picker, different
 				// opener path — the Office path-ambiguity trap transplanted.
@@ -665,12 +560,10 @@ func settingsTasks() []Task {
 			ID: "settings-timezone", App: "Settings",
 			Description: "Set the time zone to Hawaii by hand.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				s := settings.New()
-				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
-					return s.State.TimeZone == "(UTC-10:00) Hawaii" && !s.State.AutoTimeZone
-				}}
-			},
+			Verify: AllOf(
+				Eq("state.time-zone", "(UTC-10:00) Hawaii"),
+				Eq("state.auto-time-zone", false),
+			),
 			Plan: []PlanStep{
 				// Leaving "set automatically" on makes the manual pick a
 				// silent no-op — this panel's classic subtle semantics.
@@ -688,17 +581,18 @@ func settingsTasks() []Task {
 			ID: "settings-network-reset", App: "Settings",
 			Description: "Restore the network configuration to its defaults.",
 			Ambiguity:   0.2,
-			Build: func() *Env {
-				s := settings.New()
-				s.State.VPN = true
-				s.State.ProxyOn = true
-				s.State.ProxyServer = "proxy.corp:8080"
-				s.State.WiFi = false
-				return &Env{App: s.App, Kind: "Settings", verify: func(*Env) bool {
-					return s.State.NetworkResets == 1 && !s.State.VPN &&
-						s.State.ProxyServer == "" && s.State.WiFi
-				}}
+			Setup: []SetupOp{
+				{Op: SetupSettingsSet, Path: "vpn", Value: true},
+				{Op: SetupSettingsSet, Path: "proxy-on", Value: true},
+				{Op: SetupSettingsSet, Path: "proxy-server", Value: "proxy.corp:8080"},
+				{Op: SetupSettingsSet, Path: "wifi", Value: false},
 			},
+			Verify: AllOf(
+				Eq("state.network-resets", 1.0),
+				Eq("state.vpn", false),
+				Eq("state.proxy-server", ""),
+				Eq("state.wifi", true),
+			),
 			Plan: []PlanStep{
 				// "Reset now" reveals the confirm dialog, so it is a
 				// navigation (non-leaf) node: the declarative agent must take
@@ -721,14 +615,11 @@ func filesTasks() []Task {
 			ID: "files-delete", App: "Files",
 			Description: "Delete old_notes.txt from the Documents folder.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				f := filemgr.New()
-				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
-					return !f.FS.Has("Documents", "old_notes.txt") &&
-						f.FS.Trashed("old_notes.txt") &&
-						f.FS.Has("Documents", "notes.txt")
-				}}
-			},
+			Verify: AllOf(
+				Eq("has.Documents.old_notes.txt", false),
+				Eq("trashed.old_notes.txt", true),
+				Eq("has.Documents.notes.txt", true),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "select_controls",
 					ControlName: "old_notes.txt", ControlType: uia.ListItemControl,
@@ -742,14 +633,11 @@ func filesTasks() []Task {
 			ID: "files-rename", App: "Files",
 			Description: "Rename report_draft.txt in Documents to report_final.txt, then open it to check the content.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				f := filemgr.New()
-				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
-					return f.FS.Has("Documents", "report_final.txt") &&
-						!f.FS.Has("Documents", "report_draft.txt") &&
-						f.PreviewOf() != nil && f.PreviewOf().Name == "report_final.txt"
-				}}
-			},
+			Verify: AllOf(
+				Eq("has.Documents.report_final.txt", true),
+				Eq("has.Documents.report_draft.txt", false),
+				Eq("preview-name", "report_final.txt"),
+			),
 			Plan: []PlanStep{
 				{Kind: StepState, State: &StateOp{Op: "select_controls",
 					ControlName: "report_draft.txt", ControlType: uia.ListItemControl,
@@ -768,12 +656,10 @@ func filesTasks() []Task {
 			ID: "files-scroll", App: "Files",
 			Description: "Scroll the Projects folder to show the files at the end of the list.",
 			Ambiguity:   0.1,
-			Build: func() *Env {
-				f := filemgr.New()
-				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
-					return f.Current == "Projects" && f.ViewTop() >= 4
-				}}
-			},
+			Verify: AllOf(
+				Eq("current", "Projects"),
+				AtLeast("view-top", 4),
+			),
 			Plan: []PlanStep{
 				// Folder items reveal their file rows, so they are non-leaf
 				// navigation nodes (imperative slow path).
@@ -788,13 +674,8 @@ func filesTasks() []Task {
 			ID: "files-preview-copy", App: "Files",
 			Description: "Copy the second and third lines of notes.txt to the clipboard.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				f := filemgr.New()
-				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
-					return f.FS.TextClipboard == "Ship the quarterly report by Friday.\n"+
-						"Review the budget draft with finance."
-				}}
-			},
+			Verify: Eq("text-clipboard", "Ship the quarterly report by Friday.\n"+
+				"Review the budget draft with finance."),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "notes.txt",
 					GIDContains: "lstFiles"}, VisualDiff: 0.3},
@@ -812,15 +693,12 @@ func filesTasks() []Task {
 			ID: "files-move", App: "Files",
 			Description: "Move photo2.jpg and photo4.jpg from Pictures into Downloads.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				f := filemgr.New()
-				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
-					return f.FS.Has("Downloads", "photo2.jpg") &&
-						f.FS.Has("Downloads", "photo4.jpg") &&
-						!f.FS.Has("Pictures", "photo2.jpg") &&
-						!f.FS.Has("Pictures", "photo4.jpg")
-				}}
-			},
+			Verify: AllOf(
+				Eq("has.Downloads.photo2.jpg", true),
+				Eq("has.Downloads.photo4.jpg", true),
+				Eq("has.Pictures.photo2.jpg", false),
+				Eq("has.Pictures.photo4.jpg", false),
+			),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "fldPictures"}, VisualDiff: 0.2},
 				{Kind: StepState, State: &StateOp{Op: "select_controls",
@@ -838,12 +716,10 @@ func filesTasks() []Task {
 			ID: "files-hidden", App: "Files",
 			Description: "Show the hidden files in the Downloads folder.",
 			Ambiguity:   0.15,
-			Build: func() *Env {
-				f := filemgr.New()
-				return &Env{App: f.App, Kind: "Files", verify: func(*Env) bool {
-					return f.Current == "Downloads" && f.ShowHidden
-				}}
-			},
+			Verify: AllOf(
+				Eq("current", "Downloads"),
+				Eq("show-hidden", true),
+			),
 			Plan: []PlanStep{
 				{Kind: StepAccess, Target: Target{Primary: "fldDownloads"}, VisualDiff: 0.2},
 				{Kind: StepAccess, Target: Target{Primary: "chkHiddenF"},

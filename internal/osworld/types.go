@@ -74,7 +74,9 @@ type PlanStep struct {
 	TrapAlt    *Target
 }
 
-// Env is a live task environment: a fresh application plus its verifier.
+// Env is a live task environment: a fresh application, the probe that
+// resolves verify-condition paths against its state, and the bound verify
+// condition.
 type Env struct {
 	App  *appkit.App
 	Kind string // "Word", "Excel", "PowerPoint", "Settings", "Files"
@@ -86,15 +88,29 @@ type Env struct {
 	// action tasks).
 	Expected string
 
-	// verify checks real application state.
-	verify func(e *Env) bool
+	// probe resolves condition paths against the live application state.
+	probe StateProbe
+
+	// verify is the task's declarative success condition.
+	verify Cond
 }
 
 // Verify reports task success from application state (and the recorded
-// answer, for observation tasks).
-func (e *Env) Verify() bool { return e.verify(e) }
+// answer, for observation tasks). A condition that fails to evaluate —
+// possible only for tasks that bypassed validation — reads as failure.
+func (e *Env) Verify() bool {
+	ok, err := e.verify.Eval(e)
+	return err == nil && ok
+}
 
-// Task is one benchmark scenario.
+// Probe resolves one verify-condition path against the live application
+// state (exported for pack validators and focused tests).
+func (e *Env) Probe(path string) (any, error) { return e.probe(path) }
+
+// Task is one benchmark scenario — pure data. The environment it runs in is
+// derived by Build from the app's compiled-in factory, the declarative
+// Setup ops, and the Verify condition, which is what lets a task cross
+// process boundaries as JSON (internal/taskpack) with no loss.
 type Task struct {
 	ID          string
 	App         string
@@ -102,8 +118,13 @@ type Task struct {
 	// Ambiguity is task-level instruction vagueness; it scales the
 	// "ambiguous task description" failure channel.
 	Ambiguity float64
-	Build     func() *Env
-	Plan      []PlanStep
+	// Expected is the ground-truth answer for observation tasks.
+	Expected string
+	// Setup declares the environment deltas applied to a fresh application.
+	Setup []SetupOp
+	// Verify is the declarative success condition over application state.
+	Verify Cond
+	Plan   []PlanStep
 }
 
 // Failure channel tags (paper §5.6). Policy-level channels reflect

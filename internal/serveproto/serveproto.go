@@ -34,22 +34,31 @@ const MaxRequestBytes = 1 << 16
 
 // SessionRequest selects one grid cell. App is optional; when set it must
 // match the task's application (a cheap cross-check that the caller and the
-// replica agree on the catalog).
+// replica agree on the catalog). Pack and PackHash optionally name the task
+// pack the caller resolves cells against (see internal/taskpack); a replica
+// serving a different pack answers 409 with a PackMismatch body instead of
+// running the cell against different task content. Empty values skip the
+// handshake.
 type SessionRequest struct {
-	App     string `json:"app"`
-	Task    string `json:"task"`
-	Setting string `json:"setting"`
-	Runs    int    `json:"runs"`
+	App      string `json:"app"`
+	Task     string `json:"task"`
+	Setting  string `json:"setting"`
+	Runs     int    `json:"runs"`
+	Pack     string `json:"pack,omitempty"`
+	PackHash string `json:"pack_hash,omitempty"`
 }
 
 // SessionResponse echoes the resolved cell and carries its outcomes in run
 // order — exactly the slice the in-process bench.Run produces for the same
-// cell.
+// cell. Pack and PackHash identify the pack the replica served the cell
+// from.
 type SessionResponse struct {
 	App      string          `json:"app"`
 	Task     string          `json:"task"`
 	Setting  string          `json:"setting"`
 	Runs     int             `json:"runs"`
+	Pack     string          `json:"pack,omitempty"`
+	PackHash string          `json:"pack_hash,omitempty"`
 	Outcomes []agent.Outcome `json:"outcomes"`
 }
 
@@ -63,7 +72,19 @@ type RawSessionResponse struct {
 	Task     string          `json:"task"`
 	Setting  string          `json:"setting"`
 	Runs     int             `json:"runs"`
+	Pack     string          `json:"pack,omitempty"`
+	PackHash string          `json:"pack_hash,omitempty"`
 	Outcomes json.RawMessage `json:"outcomes"`
+}
+
+// PackMismatch is the body of a 409 session rejection: the replica is
+// healthy but serves a different task pack than the request names. Want is
+// the requester's pack, Have is the replica's.
+type PackMismatch struct {
+	WantPack string `json:"want_pack"`
+	WantHash string `json:"want_hash"`
+	HavePack string `json:"have_pack"`
+	HaveHash string `json:"have_hash"`
 }
 
 // StatsResponse is GET /stats: serving totals plus the model store's
@@ -78,11 +99,15 @@ type StatsResponse struct {
 	CoreTokens   map[string]int   `json:"core_tokens"`
 }
 
-// Health is GET /healthz: readiness plus the catalog size the replica
-// prewarmed.
+// Health is GET /healthz: readiness, the catalog size the replica
+// prewarmed, and the identity of the task pack it serves — so a coordinator
+// can refuse to start a run against mismatched replicas before dispatching
+// anything.
 type Health struct {
-	OK   bool `json:"ok"`
-	Apps int  `json:"apps"`
+	OK       bool   `json:"ok"`
+	Apps     int    `json:"apps"`
+	Pack     string `json:"pack,omitempty"`
+	PackHash string `json:"pack_hash,omitempty"`
 }
 
 // HitRatio is the fraction of store lookups served without a build.

@@ -1,0 +1,68 @@
+package taskpack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTaskPackDecode drives arbitrary bytes through the strict decoder and,
+// for anything that decodes, asserts the canonical-encoding fixed point:
+// decode→encode→decode→encode is byte-stable (the property Hash identity
+// rests on), conversion to tasks never panics, and validation of the decoded
+// pack never panics. The committed corpus under testdata/fuzz seeds the
+// interesting shapes: the full builtin grid, a minimal pack, and packs
+// exercising every optional wire field.
+func FuzzTaskPackDecode(f *testing.F) {
+	if p, err := BuiltinPack(); err == nil {
+		if data, err := p.Encode(); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"schema":1,"name":"tiny","tasks":[]}`))
+	f.Add([]byte(`{"schema": 1, "name": "one", "tasks": [{"id": "t", "app": "Word",
+		"description": "d", "verify": {"op": "answer"},
+		"plan": [{"kind": "shortcut", "key": "ENTER"}]}]}`))
+	f.Add([]byte(`{"schema": 1, "name": "cond", "tasks": [{"id": "t", "app": "Settings",
+		"description": "d", "ambiguity": 0.5, "expected": "42",
+		"setup": [{"op": "settings-set", "path": "wifi", "value": false}],
+		"verify": {"op": "all", "subs": [
+			{"op": "not", "subs": [{"op": "equals", "path": "state.theme", "value": "Dark"}]},
+			{"op": "at-least", "path": "state.brightness", "value": 10},
+			{"op": "contains", "path": "state.time-zone", "value": "UTC"}]},
+		"plan": [{"kind": "state", "state": {"op": "scrollbar", "control": "S",
+			"control_type": "ScrollBar", "h": -1, "v": 80}, "visual_diff": 0.7,
+			"trap": {"kind": "subtle-semantics", "weight": 0.4}},
+			{"kind": "access", "target": {"primary": "p", "gid_contains": "g", "via": "v"},
+			"trap": {"alt": {"primary": "q"}}}]}]}`))
+	f.Add([]byte(`{"schema":2,"name":"future","tasks":[]}`))
+	f.Add([]byte(`{"schema":1,"nmae":"typo","tasks":[]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		enc1, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded pack does not encode: %v", err)
+		}
+		p2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-decode: %v\n%s", err, enc1)
+		}
+		enc2, err := p2.Encode()
+		if err != nil {
+			t.Fatalf("re-decoded pack does not encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding is not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+		h1, err := p.Hash()
+		if err != nil || len(h1) != 64 {
+			t.Fatalf("hash: %q, %v", h1, err)
+		}
+		_, _ = p.ToTasks()        // conversion must not panic
+		_ = ValidatePack(data, p) // validation must not panic
+	})
+}

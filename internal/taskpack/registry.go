@@ -1,0 +1,113 @@
+package taskpack
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/osworld"
+)
+
+// BuiltinName is the pack name of the compiled-in grid. dmi-tasks -export
+// writes the grid under this name, so the exported file's identity hash
+// equals Builtin().Hash() and a replica started from the file interoperates
+// with a coordinator running the compiled-in tasks.
+const BuiltinName = "osworld-w"
+
+// builtinDescription must match between Builtin and -export for the hashes
+// to agree.
+const builtinDescription = "The 39-task OSWorld-W benchmark grid: 9 Word, 9 Excel, 9 PowerPoint, 6 Settings, 6 Files scenarios."
+
+// Registry is a resolved task set: what bench, serve, and coord run against.
+// The zero of every lookup is the compiled-in grid (Builtin); loading a pack
+// file yields a registry with that pack's name and hash instead.
+type Registry struct {
+	name  string
+	hash  string
+	tasks []osworld.Task
+	byID  map[string]osworld.Task
+}
+
+// NewRegistry builds a registry over tasks under a pack identity. Callers
+// outside this package normally use Builtin or Load instead.
+func NewRegistry(name, hash string, tasks []osworld.Task) *Registry {
+	r := &Registry{name: name, hash: hash, tasks: tasks, byID: make(map[string]osworld.Task, len(tasks))}
+	for _, t := range tasks {
+		r.byID[t.ID] = t
+	}
+	return r
+}
+
+// Name returns the pack name ("osworld-w" for the compiled-in grid).
+func (r *Registry) Name() string { return r.name }
+
+// Hash returns the pack identity hash (see Pack.Hash).
+func (r *Registry) Hash() string { return r.hash }
+
+// Tasks returns the task list in pack order. Callers must not mutate it.
+func (r *Registry) Tasks() []osworld.Task { return r.tasks }
+
+// ByID resolves a task by id.
+func (r *Registry) ByID(id string) (osworld.Task, bool) {
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Len returns the number of tasks.
+func (r *Registry) Len() int { return len(r.tasks) }
+
+var (
+	builtinOnce sync.Once
+	builtinReg  *Registry
+)
+
+// Builtin returns the registry over the compiled-in grid, with the identity
+// hash of its pack rendering — so the same grid loaded from an exported file
+// carries the same hash. The compiled-in grid always renders and hashes
+// (covered by tests), so failures panic rather than propagate.
+func Builtin() *Registry {
+	builtinOnce.Do(func() {
+		tasks := osworld.All()
+		p, err := BuiltinPack()
+		if err != nil {
+			panic(fmt.Sprintf("taskpack: render builtin pack: %v", err))
+		}
+		hash, err := p.Hash()
+		if err != nil {
+			panic(fmt.Sprintf("taskpack: hash builtin pack: %v", err))
+		}
+		builtinReg = NewRegistry(BuiltinName, hash, tasks)
+	})
+	return builtinReg
+}
+
+// BuiltinPack renders the compiled-in grid in wire form — the content that
+// dmi-tasks -export writes and that CI diffs against packs/osworld-w.json.
+func BuiltinPack() (*Pack, error) {
+	return FromTasks(BuiltinName, builtinDescription, osworld.All())
+}
+
+// Load decodes, validates, and converts pack bytes into a registry. The
+// returned registry's hash is the identity of the pack content (canonical
+// re-encoding), not of the raw input bytes, so reformatting a pack file does
+// not fork its identity.
+func Load(data []byte) (*Registry, error) {
+	p, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if issues := ValidatePack(data, p); len(issues) > 0 {
+		if len(issues) == 1 {
+			return nil, fmt.Errorf("invalid pack: %s", issues[0])
+		}
+		return nil, fmt.Errorf("invalid pack: %s (and %d more issues)", issues[0], len(issues)-1)
+	}
+	tasks, err := p.ToTasks()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := p.Hash()
+	if err != nil {
+		return nil, err
+	}
+	return NewRegistry(p.Name, hash, tasks), nil
+}
