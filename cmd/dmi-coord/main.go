@@ -5,16 +5,28 @@
 // to the in-process `dmi-bench` run, no matter which replica served which
 // cell or in what order they finished. Sessions are stateless, idempotent
 // functions of (model, task, setting, run), so a replica failure mid-run is
-// handled by re-dispatching the failed cell to a surviving replica.
+// handled by re-dispatching the failed cell to a surviving replica — and a
+// replica that comes back is re-probed (half-open /healthz circuit) and
+// returned to rotation.
 //
 // Usage:
 //
 //	dmi-coord -replicas http://a:8480,http://b:8480 [-taskpack FILE] [-runs 3] [-inflight 4] [-wait 3m] [-json FILE]
+//	dmi-coord -membership FILE [-stream] [-soak 10m -rate 20] ...
+//
+// Exactly one of -replicas (fixed fleet) or -membership (elastic fleet: one
+// base URL per line, re-read on SIGHUP so replicas join and leave mid-run)
+// selects the fleet. -stream replaces the fixed fan-out with a work queue
+// that feeds cells as fleet capacity frees up — concurrency follows
+// failures, recoveries, joins, and leaves. -soak replaces the single grid
+// pass with a sustained open-loop load (cell arrivals on a fixed-rate
+// clock, latency percentiles and recovery counts in the -json baseline) —
+// the regression gate for the recovery path.
 //
 // The evaluation report goes to stdout (same sections, same bytes as
 // `dmi-bench`); coordination telemetry — per-replica cell counts, retries,
-// and the aggregate warm-hit ratio scraped from each replica's GET /stats —
-// goes to stderr.
+// recoveries, and the aggregate warm-hit ratio scraped from each replica's
+// GET /stats — goes to stderr.
 //
 // The coordinator and every replica must serve the same task pack: cells are
 // resolved by task id on both sides, so mismatched packs would silently score
@@ -22,7 +34,8 @@
 // pack identity during the health wait and refuses to dispatch against a
 // mismatched replica, naming the replica and both hashes; every session
 // request additionally carries the pack name and hash, which a mismatched
-// replica rejects with 409.
+// replica rejects with 409. A replica recovering from a down-mark is held
+// out of rotation until its probed pack identity matches again.
 package main
 
 import (
@@ -73,17 +86,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dmi-coord", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	replicasFlag := fs.String("replicas", "", "comma-separated dmi-serve base URLs (required)")
+	replicasFlag := fs.String("replicas", "", "comma-separated dmi-serve base URLs (exactly one of -replicas / -membership)")
+	membershipFile := fs.String("membership", "", "membership file, one dmi-serve base URL per line, re-read on SIGHUP (exactly one of -replicas / -membership)")
 	packFile := fs.String("taskpack", "", "task pack JSON to resolve cells from (default: the built-in osworld-w grid); every replica must serve the same pack")
 	runs := fs.Int("runs", 3, "seeded repetitions per task (paper: 3)")
 	inflight := fs.Int("inflight", 4, "max cells in flight per replica")
+	stream := fs.Bool("stream", false, "feed cells from a work queue as fleet capacity frees up, instead of a fixed pre-sharded fan-out")
 	// The default matches RemoteOptions' own: sized to outlast the slowest
 	// legitimate cell (max runs on a cold model), comfortably inside
 	// dmi-serve's 10-minute write-timeout hang guard — a slow-but-healthy
 	// replica must not read as a failure.
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-cell request timeout (a hung replica becomes a detected failure, not a stall)")
 	wait := fs.Duration("wait", 3*time.Minute, "how long to wait for every replica's /healthz (replicas prewarm the catalog at startup)")
-	jsonOut := fs.String("json", "", "write a machine-readable baseline (cells/sec, per-replica shares) to this file")
+	probe := fs.Duration("probe", time.Second, "base interval between half-open recovery probes of a down-marked replica (negative disables recovery)")
+	soak := fs.Duration("soak", 0, "sustained-load soak for this duration instead of one grid pass (open-loop arrivals; see -rate)")
+	rate := fs.Float64("rate", 10, "target cell arrival rate per second during -soak")
+	jsonOut := fs.String("json", "", "write a machine-readable baseline (cells/sec, per-replica shares, soak percentiles) to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
@@ -94,8 +112,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		fmt.Fprintf(stderr, "dmi-coord: unexpected argument %q\n", fs.Arg(0))
 		return errUsage
 	}
-	if *replicasFlag == "" {
-		fmt.Fprintln(stderr, "dmi-coord: -replicas is required")
+	if (*replicasFlag == "") == (*membershipFile == "") {
+		fmt.Fprintln(stderr, "dmi-coord: exactly one of -replicas or -membership is required")
 		return errUsage
 	}
 	if *runs > serveproto.MaxRuns {
@@ -104,31 +122,83 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		fmt.Fprintf(stderr, "dmi-coord: -runs %d exceeds the per-cell cap of %d\n", *runs, serveproto.MaxRuns)
 		return errUsage
 	}
-	replicas := strings.Split(*replicasFlag, ",")
+	if *soak > 0 && *rate <= 0 {
+		fmt.Fprintf(stderr, "dmi-coord: -rate %g must be positive with -soak\n", *rate)
+		return errUsage
+	}
+	var replicas []string
+	if *membershipFile != "" {
+		var err error
+		replicas, err = readMembership(*membershipFile)
+		if err != nil {
+			return fmt.Errorf("dmi-coord: %w", err)
+		}
+	} else {
+		replicas = strings.Split(*replicasFlag, ",")
+	}
 
 	reg, err := loadRegistry(*packFile)
 	if err != nil {
 		return fmt.Errorf("dmi-coord: %w", err)
 	}
 	rd, err := bench.NewRemoteDispatcher(replicas, bench.RemoteOptions{
-		InFlight: *inflight,
-		Client:   &http.Client{Timeout: *timeout},
-		Pack:     reg.Name(),
-		PackHash: reg.Hash(),
+		InFlight:      *inflight,
+		Client:        &http.Client{Timeout: *timeout},
+		Pack:          reg.Name(),
+		PackHash:      reg.Hash(),
+		ProbeInterval: *probe,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "dmi-coord: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("dmi-coord: %w", err)
+	}
+	defer rd.Close()
+	if *membershipFile != "" {
+		// SIGHUP re-reads the membership file and diffs it against the
+		// current fleet — added URLs join the rotation, missing ones leave.
+		// A reload problem (unreadable file, bad URL) is logged, never
+		// fatal: a long-lived run must survive a botched edit.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if err := reloadMembership(rd, *membershipFile, stderr); err != nil {
+						fmt.Fprintf(stderr, "dmi-coord: membership reload: %v\n", err)
+					}
+				}
+			}
+		}()
 	}
 	if err := waitHealthy(ctx, rd.Live(), reg, *wait, stderr); err != nil {
 		return fmt.Errorf("dmi-coord: %w", err)
 	}
 
+	if *soak > 0 {
+		return runSoakMode(ctx, rd, reg, *soak, *rate, *runs, *inflight, *jsonOut, stderr)
+	}
+
 	cells := bench.GridCellsIn(reg, *runs)
-	concurrency := *inflight * len(rd.Live())
-	fmt.Fprintf(stderr, "dmi-coord: dispatching %d cells (%d settings × %d tasks, %d runs each) from pack %s across %d replicas, ≤%d in flight each…\n",
-		len(cells), len(bench.Matrix()), len(cells)/len(bench.Matrix()), *runs, reg.Name(), len(rd.Live()), *inflight)
+	mode := "fixed fan-out"
+	if *stream {
+		mode = "streaming work queue"
+	}
+	fmt.Fprintf(stderr, "dmi-coord: dispatching %d cells (%d settings × %d tasks, %d runs each) from pack %s across %d replicas (%s), ≤%d in flight each…\n",
+		len(cells), len(bench.Matrix()), len(cells)/len(bench.Matrix()), *runs, reg.Name(), len(rd.Live()), mode, *inflight)
 	start := time.Now()
-	rep, err := bench.RunDispatchedIn(ctx, reg, rd, *runs, concurrency)
+	var rep *bench.Report
+	if *stream {
+		rep, err = bench.RunStreamedIn(ctx, reg, rd, *runs)
+	} else {
+		concurrency := *inflight * len(rd.Live())
+		rep, err = bench.RunDispatchedIn(ctx, reg, rd, *runs, concurrency)
+	}
 	if err != nil {
 		var mismatch *bench.PackMismatchError
 		if errors.As(err, &mismatch) {
@@ -177,19 +247,95 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	// Coordination telemetry.
 	fmt.Fprintf(stderr, "dmi-coord: %d cells in %.2fs (%.1f cells/s), %d re-dispatches, aggregate warm-hit ratio %.3f\n",
 		len(cells), elapsed.Seconds(), float64(len(cells))/elapsed.Seconds(), rd.Retries(), warmHit)
-	for _, rs := range rd.Stats() {
-		state := "live"
-		if rs.Down {
-			state = "down"
-		}
-		fmt.Fprintf(stderr, "dmi-coord:   %-28s %4d cells, %d failures, %s\n", rs.BaseURL, rs.Cells, rs.Failures, state)
-	}
+	writeReplicaLines(stderr, rd)
 
 	if *jsonOut != "" {
-		if err := writeBaseline(*jsonOut, rd, *runs, *inflight, len(cells), elapsed, warmHit); err != nil {
+		if err := writeBaseline(*jsonOut, rd, *runs, *inflight, len(cells), elapsed, warmHit, nil); err != nil {
 			return fmt.Errorf("dmi-coord: baseline: %w", err)
 		}
 		fmt.Fprintf(stderr, "dmi-coord: baseline written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// writeReplicaLines prints each replica's share of the run to the telemetry
+// stream, including its recovery count and current rotation state.
+func writeReplicaLines(stderr io.Writer, rd *bench.RemoteDispatcher) {
+	for _, rs := range rd.Stats() {
+		state := "live"
+		switch {
+		case rs.Removed:
+			state = "removed"
+		case rs.Down:
+			state = "down"
+		}
+		fmt.Fprintf(stderr, "dmi-coord:   %-28s %4d cells, %d failures, %d recoveries, %s\n",
+			rs.BaseURL, rs.Cells, rs.Failures, rs.Recoveries, state)
+	}
+}
+
+// readMembership parses a membership file: one replica base URL per line,
+// blank lines and #-comments skipped.
+func readMembership(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var urls []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		urls = append(urls, line)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("%s: no replica URLs", path)
+	}
+	return urls, nil
+}
+
+// reloadMembership re-reads the membership file and diffs it against the
+// dispatcher's current fleet: URLs no longer listed are removed from
+// rotation, newly listed ones are added. Per-replica problems (a malformed
+// URL, an already-removed entry) are logged and skipped so one bad line
+// cannot take down the reload.
+func reloadMembership(rd *bench.RemoteDispatcher, path string, stderr io.Writer) error {
+	urls, err := readMembership(path)
+	if err != nil {
+		return err
+	}
+	want := make(map[string]bool, len(urls))
+	var normalized []string
+	for _, raw := range urls {
+		base, err := bench.NormalizeReplicaURL(raw)
+		if err != nil {
+			fmt.Fprintf(stderr, "dmi-coord: membership: %v\n", err)
+			continue
+		}
+		if !want[base] {
+			want[base] = true
+			normalized = append(normalized, base)
+		}
+	}
+	if len(normalized) == 0 {
+		return fmt.Errorf("%s: no valid replica URLs", path)
+	}
+	have := make(map[string]bool)
+	for _, base := range rd.Members() {
+		have[base] = true
+		if !want[base] {
+			if err := rd.RemoveReplica(base); err != nil {
+				fmt.Fprintf(stderr, "dmi-coord: membership: %v\n", err)
+			}
+		}
+	}
+	for _, base := range normalized {
+		if !have[base] {
+			if err := rd.AddReplica(base); err != nil {
+				fmt.Fprintf(stderr, "dmi-coord: membership: %v\n", err)
+			}
+		}
 	}
 	return nil
 }
@@ -304,7 +450,8 @@ func scrapeStats(ctx context.Context, replicas []string, stderr io.Writer) []ser
 }
 
 // coordBaseline is the machine-readable perf record CI uploads per run
-// (BENCH_coord.json): grid fan-out throughput at a given replica count.
+// (BENCH_coord.json): grid fan-out throughput at a given replica count,
+// plus — for soak runs — the open-loop latency/recovery record.
 // Wall-clock fields vary per host; the structure is what downstream trend
 // tooling keys on.
 type coordBaseline struct {
@@ -317,9 +464,10 @@ type coordBaseline struct {
 	Retries        int                  `json:"retries"`
 	WarmHitRatio   float64              `json:"warm_hit_ratio"`
 	PerReplica     []bench.ReplicaStats `json:"per_replica"`
+	Soak           *soakStats           `json:"soak,omitempty"`
 }
 
-func writeBaseline(path string, rd *bench.RemoteDispatcher, runs, inflight, cells int, elapsed time.Duration, warmHit float64) error {
+func writeBaseline(path string, rd *bench.RemoteDispatcher, runs, inflight, cells int, elapsed time.Duration, warmHit float64, soak *soakStats) error {
 	b := coordBaseline{
 		Replicas:       len(rd.Stats()),
 		InFlight:       inflight,
@@ -329,6 +477,7 @@ func writeBaseline(path string, rd *bench.RemoteDispatcher, runs, inflight, cell
 		Retries:        rd.Retries(),
 		WarmHitRatio:   warmHit,
 		PerReplica:     rd.Stats(),
+		Soak:           soak,
 	}
 	if b.ElapsedSeconds > 0 {
 		b.CellsPerSecond = float64(b.Cells) / b.ElapsedSeconds

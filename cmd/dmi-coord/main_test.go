@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/bench"
@@ -28,10 +29,13 @@ func TestBadFlagIsAnError(t *testing.T) {
 		t.Fatal("expected an error for a stray positional argument")
 	}
 	if err := run(nil, &out, &errb); !errors.Is(err, errUsage) {
-		t.Fatalf("missing -replicas should be a usage error, got %v", err)
+		t.Fatalf("missing fleet selection should be a usage error, got %v", err)
 	}
-	if !strings.Contains(errb.String(), "-replicas is required") {
-		t.Errorf("missing-replicas message absent from stderr:\n%s", errb.String())
+	if !strings.Contains(errb.String(), "exactly one of -replicas or -membership") {
+		t.Errorf("fleet-selection message absent from stderr:\n%s", errb.String())
+	}
+	if err := run([]string{"-replicas", "http://a:1", "-membership", "members.txt"}, &out, &errb); !errors.Is(err, errUsage) {
+		t.Fatalf("both -replicas and -membership should be a usage error, got %v", err)
 	}
 	if err := run([]string{"-replicas", "not-a-url"}, &out, &errb); err == nil || errors.Is(err, errUsage) {
 		t.Fatalf("bad replica URL should be a hard error, got %v", err)
@@ -41,6 +45,15 @@ func TestBadFlagIsAnError(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "per-cell cap") {
 		t.Errorf("over-cap message absent from stderr:\n%s", errb.String())
+	}
+	if err := run([]string{"-replicas", "http://a:1", "-soak", "1s", "-rate", "0"}, &out, &errb); !errors.Is(err, errUsage) {
+		t.Fatalf("non-positive -rate with -soak should be a usage error, got %v", err)
+	}
+	if !strings.Contains(errb.String(), "must be positive with -soak") {
+		t.Errorf("bad-rate message absent from stderr:\n%s", errb.String())
+	}
+	if err := run([]string{"-membership", filepath.Join(t.TempDir(), "absent.txt")}, &out, &errb); err == nil || errors.Is(err, errUsage) {
+		t.Fatalf("unreadable membership file should be a hard error, got %v", err)
 	}
 }
 
@@ -67,19 +80,32 @@ func TestUnhealthyReplicaTimesOut(t *testing.T) {
 }
 
 // replica is an in-process dmi-serve stand-in speaking the serveproto
-// protocol from shared warm models, with an injectable failure point.
+// protocol from shared warm models, with injectable failure points.
 type replica struct {
 	models *agent.Models
 	// failAfter starts answering 500 once this many cells were served
 	// (-1 = never) — the forced mid-run replica failure of the issue's
-	// acceptance criteria.
+	// acceptance criteria. Permanent: /healthz fails with it, so the
+	// replica never recovers.
 	failAfter int64
-	served    atomic.Int64
+	// outage is a switchable outage — sessions and /healthz both 500 while
+	// set — so soak tests can take a replica down and bring it back.
+	outage atomic.Bool
+	served atomic.Int64
+}
+
+// failing reports whether an injected failure mode is active.
+func (rp *replica) failing() bool {
+	return rp.outage.Load() || (rp.failAfter >= 0 && rp.served.Load() >= rp.failAfter)
 }
 
 func (rp *replica) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if rp.failing() {
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+			return
+		}
 		json.NewEncoder(w).Encode(serveproto.Health{OK: true, Apps: len(agent.AppNames())})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -90,7 +116,7 @@ func (rp *replica) handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
-		if rp.failAfter >= 0 && rp.served.Load() >= rp.failAfter {
+		if rp.failing() {
 			http.Error(w, "injected replica failure", http.StatusInternalServerError)
 			return
 		}
@@ -235,5 +261,177 @@ func TestCoordinatorSurvivesReplicaFailure(t *testing.T) {
 	cells := int64(len(bench.GridCells(1)))
 	if total := flaky.served.Load() + healthy.served.Load(); total != cells {
 		t.Errorf("replicas served %d cells, want %d", total, cells)
+	}
+}
+
+// TestMembershipReload drives the SIGHUP reload logic directly: the file is
+// re-read, diffed against the current fleet, and per-line problems are
+// logged without failing the reload.
+func TestMembershipReload(t *testing.T) {
+	rd, err := bench.NewRemoteDispatcher([]string{"http://a:1"}, bench.RemoteOptions{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	path := filepath.Join(t.TempDir(), "members.txt")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var errb bytes.Buffer
+
+	write("# the fleet\nhttp://a:1\nhttp://b:2/\n\n")
+	if err := reloadMembership(rd, path, &errb); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if got := rd.Members(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("Members() after add = %v", got)
+	}
+
+	// a drops out, c joins; a malformed line is logged and skipped.
+	write("not a url\nhttp://b:2\nhttp://c:3\n")
+	if err := reloadMembership(rd, path, &errb); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if got := rd.Members(); len(got) != 2 || got[0] != "http://b:2" || got[1] != "http://c:3" {
+		t.Fatalf("Members() after swap = %v", got)
+	}
+	if !strings.Contains(errb.String(), "not a url") {
+		t.Errorf("malformed line not reported:\n%s", errb.String())
+	}
+
+	// a comes back: revived, not duplicated.
+	write("http://a:1\nhttp://b:2\nhttp://c:3\n")
+	if err := reloadMembership(rd, path, &errb); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if got := rd.Members(); len(got) != 3 {
+		t.Fatalf("Members() after revive = %v", got)
+	}
+	if stats := rd.Stats(); len(stats) != 3 {
+		t.Fatalf("revive must reuse the membership slot, not append: %+v", stats)
+	}
+
+	// An unreadable or empty file fails the reload and leaves the fleet as-is.
+	if err := reloadMembership(rd, filepath.Join(t.TempDir(), "absent.txt"), &errb); err == nil {
+		t.Error("missing membership file must fail the reload")
+	}
+	write("# nothing\n")
+	if err := reloadMembership(rd, path, &errb); err == nil {
+		t.Error("empty membership file must fail the reload")
+	}
+	if got := rd.Members(); len(got) != 3 {
+		t.Errorf("failed reload must not change the fleet: %v", got)
+	}
+}
+
+// TestCoordinatorStreamMembership: the -membership + -stream path at the
+// binary boundary — the work-queue mode over a file-selected fleet still
+// emits the byte-identical report.
+func TestCoordinatorStreamMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling plus full-grid fan-out")
+	}
+	models, want := groundTruth(t)
+	a := &replica{models: models, failAfter: -1}
+	b := &replica{models: models, failAfter: -1}
+	srvA, srvB := httptest.NewServer(a.handler()), httptest.NewServer(b.handler())
+	defer srvA.Close()
+	defer srvB.Close()
+	path := filepath.Join(t.TempDir(), "members.txt")
+	if err := os.WriteFile(path, []byte(srvA.URL+"\n"+srvB.URL+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	err := run([]string{"-membership", path, "-stream", "-runs", "1"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("streaming coordinator failed: %v\nstderr:\n%s", err, errb.String())
+	}
+	if out.String() != want {
+		t.Error("streaming report is not byte-identical to in-process bench.Run")
+	}
+	if a.served.Load() == 0 || b.served.Load() == 0 {
+		t.Errorf("stream did not shard across the fleet: %d vs %d", a.served.Load(), b.served.Load())
+	}
+	if !strings.Contains(errb.String(), "streaming work queue") {
+		t.Errorf("telemetry should name the streaming mode:\n%s", errb.String())
+	}
+}
+
+// TestCoordinatorSoakRecovery is the acceptance scenario at the binary
+// boundary: during a -soak run one replica goes down mid-soak and comes
+// back; the half-open prober must return it to rotation (Recoveries ≥ 1 in
+// the baseline) and it must serve further cells, while the open-loop
+// arrival process rides through the outage.
+func TestCoordinatorSoakRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling plus a multi-second soak")
+	}
+	models, _ := groundTruth(t)
+	steady := &replica{models: models, failAfter: -1}
+	flappy := &replica{models: models, failAfter: -1}
+	srvA, srvB := httptest.NewServer(steady.handler()), httptest.NewServer(flappy.handler())
+	defer srvA.Close()
+	defer srvB.Close()
+
+	// Outage window: down early in the soak, back with plenty of soak left
+	// for the 20ms-base prober to recover it and route cells to it again.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		flappy.outage.Store(true)
+		time.Sleep(300 * time.Millisecond)
+		flappy.outage.Store(false)
+	}()
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_coord.json")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-replicas", srvA.URL + "," + srvB.URL,
+		"-runs", "1",
+		"-soak", "2500ms",
+		"-rate", "40",
+		"-probe", "20ms",
+		"-json", jsonPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("soak failed: %v\nstderr:\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "soak done") {
+		t.Errorf("soak summary missing from telemetry:\n%s", errb.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base coordBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Soak == nil {
+		t.Fatal("baseline has no soak record")
+	}
+	if base.Soak.Arrivals == 0 || base.Soak.Completed == 0 {
+		t.Errorf("soak saw no traffic: %+v", base.Soak)
+	}
+	if base.Soak.Recoveries < 1 {
+		t.Errorf("the flapped replica never recovered: %+v\nstderr:\n%s", base.Soak, errb.String())
+	}
+	if base.Soak.DownSeconds <= 0 {
+		t.Errorf("down time not recorded: %+v", base.Soak)
+	}
+	if base.Soak.LatencyP50Ms <= 0 || base.Soak.LatencyP99Ms < base.Soak.LatencyP50Ms {
+		t.Errorf("latency percentiles out of shape: %+v", base.Soak)
+	}
+	if flappy.served.Load() == 0 {
+		t.Error("the flapped replica never served a cell")
+	}
+	// The open loop must ride through the outage: the survivor absorbs
+	// re-dispatched cells, so arrivals overwhelmingly complete.
+	if base.Soak.Failed > base.Soak.Arrivals/2 {
+		t.Errorf("too many failed arrivals for a one-replica outage: %+v", base.Soak)
 	}
 }

@@ -29,6 +29,8 @@ package main
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -189,6 +191,7 @@ type server struct {
 	mux        *http.ServeMux
 	ripWorkers int
 	parallel   int
+	instance   string         // random per-process id, reported on /healthz
 	coreTokens map[string]int // catalog token accounting, for /stats
 
 	mu       sync.Mutex
@@ -227,6 +230,7 @@ func newBareServer(store *modelstore.Store, reg *taskpack.Registry, ripWorkers, 
 		reg:        reg,
 		ripWorkers: ripWorkers,
 		parallel:   parallel,
+		instance:   newInstanceID(),
 		coreTokens: make(map[string]int),
 	}
 	mux := http.NewServeMux()
@@ -357,7 +361,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, serveproto.Health{
 		OK: true, Apps: len(agent.AppNames()),
 		Pack: s.reg.Name(), PackHash: s.reg.Hash(),
+		Instance: s.instance,
 	})
+}
+
+// newInstanceID draws a random per-process identity for /healthz, so a
+// coordinator's health prober can tell a replica that blipped from one that
+// was killed and restarted on the same address — the id changes on restart.
+func newInstanceID() string {
+	var buf [8]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		return fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	return hex.EncodeToString(buf[:])
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -131,6 +131,9 @@ func TestServeDaemon(t *testing.T) {
 		if resp.StatusCode != http.StatusOK || !hz.OK || hz.Apps != len(agent.AppNames()) {
 			t.Fatalf("healthz: status %d, body %+v", resp.StatusCode, hz)
 		}
+		if hz.Instance == "" {
+			t.Error("healthz must advertise a per-process instance id (restart detection for recovery probes)")
+		}
 	})
 
 	// One task per app × two settings, all POSTed concurrently, twice, so

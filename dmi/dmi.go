@@ -275,11 +275,15 @@ type AgentOutcome = agent.Outcome
 type BenchReport = bench.Report
 
 // RemoteDispatcher shards cells across dmi-serve replicas with per-replica
-// in-flight caps, failure detection, and re-dispatch of failed cells.
+// in-flight caps, failure detection, re-dispatch of failed cells,
+// half-open recovery probing (a down-marked replica returns to rotation
+// once its /healthz answers ready again), and elastic membership
+// (AddReplica/RemoveReplica adjust the fleet mid-run). Call Close when
+// retiring a dispatcher to stop its background probers.
 type RemoteDispatcher = bench.RemoteDispatcher
 
 // RemoteOptions tunes a RemoteDispatcher (per-replica in-flight cap, HTTP
-// client).
+// client, recovery-probe cadence, event logging).
 type RemoteOptions = bench.RemoteOptions
 
 // NewRemoteDispatcher validates the replica base URLs and builds a
@@ -299,6 +303,16 @@ func EvalGridCells(runs int) []GridCell { return bench.GridCells(runs) }
 // programmatic form of the dmi-coord CLI.
 func RunDistributed(ctx context.Context, d Dispatcher, runs, concurrency int) (*BenchReport, error) {
 	return bench.RunDispatched(ctx, d, runs, concurrency)
+}
+
+// RunDistributedStreaming executes the full evaluation grid as a work
+// queue: cells are dispatched as fleet capacity frees up (dispatchers
+// implementing bench.CapacityReporter, like RemoteDispatcher, are paced by
+// their live capacity), so concurrency follows replica failures,
+// recoveries, joins, and leaves. The report stays byte-identical to
+// RunDistributed and the in-process evaluation.
+func RunDistributedStreaming(ctx context.Context, d Dispatcher, runs int) (*BenchReport, error) {
+	return bench.RunStreamed(ctx, d, runs)
 }
 
 // Access builds a control-access command.

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strings"
@@ -131,6 +132,83 @@ func (d *LocalDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Outc
 	return RunCell(d.models, set, task, cell.Runs, d.workers), nil
 }
 
+// gridRun is the shared state of one dispatcher-backed grid execution: the
+// canonical cell sequence, the grid-order result slots, and first-error-wins
+// failure collection. Both fan-out strategies — RunDispatchedIn's fixed
+// worker pool and RunStreamedIn's capacity-driven work queue — execute
+// through it and aggregate through aggregateGrid, which is what keeps their
+// reports byte-identical to each other and to the sequential Run.
+type gridRun struct {
+	d      Dispatcher
+	cells  []Cell
+	out    [][]agent.Outcome
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+func newGridRun(d Dispatcher, cells []Cell, cancel context.CancelFunc) *gridRun {
+	return &gridRun{d: d, cells: cells, out: make([][]agent.Outcome, len(cells)), cancel: cancel}
+}
+
+// fail records the first error and cancels the remaining cells. A dispatch
+// error therefore always wins over the cancellation it triggers: callers
+// check firstErr before ctx.Err(), so the run's error names the cell that
+// failed, not the collateral context.Canceled the other workers saw.
+func (g *gridRun) fail(err error) {
+	g.mu.Lock()
+	if g.firstErr == nil {
+		g.firstErr = err
+		g.cancel()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gridRun) err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+// dispatch executes cell i and stores its outcomes in the grid-order slot,
+// enforcing the exactly-Runs-outcomes contract.
+func (g *gridRun) dispatch(ctx context.Context, i int) {
+	cell := g.cells[i]
+	outcomes, err := g.d.Dispatch(ctx, cell)
+	if err != nil {
+		g.fail(fmt.Errorf("dispatch %s/%s: %w", cell.Setting, cell.Task, err))
+		return
+	}
+	if len(outcomes) != cell.Runs {
+		g.fail(fmt.Errorf("dispatch %s/%s: %d outcomes for %d runs", cell.Setting, cell.Task, len(outcomes), cell.Runs))
+		return
+	}
+	g.out[i] = outcomes
+}
+
+// aggregateGrid flattens grid-order outcome slots and aggregates them
+// sequentially into the Report — the exact code path the in-process Run
+// feeds, so a dispatcher-backed report is byte-identical to it regardless
+// of which replica ran which cell or in what order they finished.
+func aggregateGrid(reg *taskpack.Registry, out [][]agent.Outcome, runs int) *Report {
+	settings := Matrix()
+	tasks := reg.Tasks()
+	flat := make([]agent.Outcome, 0, len(out)*max(runs, 0))
+	for _, outcomes := range out {
+		flat = append(flat, outcomes...)
+	}
+	rep := &Report{Runs: runs, Tasks: tasks}
+	per := 0
+	if runs > 0 {
+		per = len(tasks) * runs
+	}
+	for i, set := range settings {
+		rep.Rows = append(rep.Rows, aggregate(set, tasks, runs, flat[i*per:(i+1)*per]))
+	}
+	return rep
+}
+
 // RunDispatched executes the full evaluation grid over the compiled-in task
 // pack. See RunDispatchedIn.
 func RunDispatched(ctx context.Context, d Dispatcher, runs, concurrency int) (*Report, error) {
@@ -141,57 +219,31 @@ func RunDispatched(ctx context.Context, d Dispatcher, runs, concurrency int) (*R
 // dispatcher with up to `concurrency` cells in flight (<= 0 uses
 // GOMAXPROCS), collects the outcomes in grid order, and aggregates them
 // sequentially — so the Report is byte-identical to the in-process Run
-// whenever the dispatcher honors the cell contract, regardless of which
-// replica ran which cell or in what order they finished. The first dispatch
-// error cancels the remaining cells and is returned.
+// whenever the dispatcher honors the cell contract. The first dispatch
+// error cancels the remaining cells and is returned; a pure external
+// cancellation (no dispatch error recorded) returns ctx.Err(). For a run
+// whose concurrency should follow the fleet as replicas fail, recover,
+// join, and leave, see RunStreamedIn.
 func RunDispatchedIn(ctx context.Context, reg *taskpack.Registry, d Dispatcher, runs, concurrency int) (*Report, error) {
 	if concurrency <= 0 {
 		concurrency = runtime.GOMAXPROCS(0)
 	}
-	settings := Matrix()
-	tasks := reg.Tasks()
 	var cells []Cell
 	if runs > 0 {
 		// runs <= 0 dispatches nothing and aggregates an empty report —
 		// the same zeroed rows the pre-dispatcher executeGrid produced.
 		cells = GridCellsIn(reg, runs)
 	}
-	out := make([][]agent.Outcome, len(cells))
-
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		mu.Unlock()
-	}
-	dispatch := func(i int) {
-		cell := cells[i]
-		outcomes, err := d.Dispatch(ctx, cell)
-		if err != nil {
-			fail(fmt.Errorf("dispatch %s/%s: %w", cell.Setting, cell.Task, err))
-			return
-		}
-		if len(outcomes) != cell.Runs {
-			fail(fmt.Errorf("dispatch %s/%s: %d outcomes for %d runs", cell.Setting, cell.Task, len(outcomes), cell.Runs))
-			return
-		}
-		out[i] = outcomes
-	}
+	g := newGridRun(d, cells, cancel)
 
 	if concurrency == 1 || len(cells) <= 1 {
 		for i := range cells {
 			if ctx.Err() != nil {
 				break
 			}
-			dispatch(i)
+			g.dispatch(ctx, i)
 		}
 	} else {
 		idx := make(chan int)
@@ -201,7 +253,7 @@ func RunDispatchedIn(ctx context.Context, reg *taskpack.Registry, d Dispatcher, 
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					dispatch(i)
+					g.dispatch(ctx, i)
 				}
 			}()
 		}
@@ -217,39 +269,44 @@ func RunDispatchedIn(ctx context.Context, reg *taskpack.Registry, d Dispatcher, 
 		wg.Wait()
 	}
 
-	mu.Lock()
-	err := firstErr
-	mu.Unlock()
-	if err != nil {
+	if err := g.err(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	flat := make([]agent.Outcome, 0, len(cells)*runs)
-	for _, outcomes := range out {
-		flat = append(flat, outcomes...)
-	}
-	rep := &Report{Runs: runs, Tasks: tasks}
-	per := 0
-	if runs > 0 {
-		per = len(tasks) * runs
-	}
-	for i, set := range settings {
-		rep.Rows = append(rep.Rows, aggregate(set, tasks, runs, flat[i*per:(i+1)*per]))
-	}
-	return rep, nil
+	return aggregateGrid(reg, g.out, runs), nil
 }
 
 // Remote dispatch --------------------------------------------------------------
 
-// ReplicaStats is one replica's share of a dispatched run.
+// ReplicaStats is one replica's share of a dispatched run. The counters are
+// defined so they stay mutually consistent across failover and recovery:
+//
+//   - Cells: session requests this replica answered successfully.
+//   - Failures: dispatch attempts that reached this replica and failed
+//     (transport error, 5xx, malformed response, malformed 409 body). Each
+//     one sends its cell back through replica selection, so at quiescence
+//     the dispatcher's Retries() equals the sum of Failures over replicas.
+//   - Skips: dispatches that queued on this replica's in-flight slot but
+//     found it down-marked by the time the slot freed. No request was made,
+//     so a skip is neither a Cell nor a Failure — it only explains where a
+//     dispatch's wait went.
+//   - Recoveries: times a half-open probe returned this replica to rotation
+//     after a down-mark.
+//   - Down / DownSeconds: whether the replica is currently out of rotation,
+//     and its cumulative down time (including the in-progress stretch).
+//   - Removed: the replica was taken out of the membership mid-run; its
+//     counters stay visible but it is never picked.
 type ReplicaStats struct {
-	BaseURL  string `json:"base_url"`
-	Cells    int    `json:"cells"`    // cells served successfully
-	Failures int    `json:"failures"` // dispatch attempts that failed here
-	Down     bool   `json:"down"`     // failure detection tripped; no longer picked
+	BaseURL     string  `json:"base_url"`
+	Cells       int     `json:"cells"`
+	Failures    int     `json:"failures"`
+	Skips       int     `json:"skips"`
+	Recoveries  int     `json:"recoveries"`
+	Down        bool    `json:"down"`
+	Removed     bool    `json:"removed,omitempty"`
+	DownSeconds float64 `json:"down_seconds"`
 }
 
 // RemoteOptions tunes a RemoteDispatcher.
@@ -271,24 +328,53 @@ type RemoteOptions struct {
 	// Empty values skip the handshake (legacy behavior).
 	Pack     string
 	PackHash string
+	// ProbeInterval is the base delay between half-open /healthz probes of
+	// a down-marked replica (default 1s; negative disables probing, which
+	// freezes the pre-recovery behavior of a down-mark lasting the whole
+	// run). Failed probes back off exponentially — ×2 per failure, capped
+	// at ProbeMax (default 30s) — and every delay carries ±50% jitter so
+	// probers for replicas downed together don't synchronize.
+	ProbeInterval time.Duration
+	ProbeMax      time.Duration
+	// Logf, when set, receives membership and recovery events (replica
+	// down-marked, recovered, added, removed). The coordinator points it at
+	// stderr; nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // RemoteDispatcher shards cells across N dmi-serve replicas over the
 // HTTP/JSON POST /session protocol. Each dispatch picks the least-loaded
-// live replica, bounded by the per-replica in-flight cap. A transport
-// error, a 5xx, or a malformed response marks the replica down and the cell
-// is re-dispatched to another replica — safe because cells are idempotent
-// (see Cell). A 4xx is the request's fault, not the replica's: it is
-// returned immediately without marking anything down, since every replica
-// would reject it identically.
+// live replica (equal-load ties rotate round-robin), bounded by the
+// per-replica in-flight cap. A transport error, a 5xx, or a malformed
+// response marks the replica down and the cell is re-dispatched to another
+// replica — safe because cells are idempotent (see Cell). A 4xx is the
+// request's fault, not the replica's: it is returned immediately without
+// marking anything down, since every replica would reject it identically.
+//
+// A down-mark is detection, not a death sentence: a half-open prober polls
+// the replica's /healthz on a jittered backoff and returns it to rotation
+// once it answers ready with a matching pack identity (see probe.go). The
+// membership is elastic — AddReplica and RemoveReplica adjust the fleet
+// mid-run (see membership.go). Close stops the background probers; a
+// dispatcher used past a single run should be closed when retired.
 type RemoteDispatcher struct {
-	replicas []*replica
-	client   *http.Client
-	pack     string
-	packHash string
+	client      *http.Client
+	probeClient *http.Client
+	pack        string
+	packHash    string
+	inflight    int
+	probeBase   time.Duration // 0 = probing disabled
+	probeMax    time.Duration
+	logf        func(string, ...any)
 
-	mu      sync.Mutex
-	retries int // cells re-dispatched after a replica failure
+	done      chan struct{} // closed by Close; stops probers
+	closeOnce sync.Once
+
+	mu       sync.Mutex
+	replicas []*replica // elastic membership list
+	rr       int        // rotating scan offset for pick's tie-break
+	retries  int        // failed attempts that sent a cell back through pick
+	rng      *rand.Rand // jitter source for probe backoff
 }
 
 // replica is one backend's dispatch state.
@@ -296,10 +382,34 @@ type replica struct {
 	base string
 	slot chan struct{} // in-flight cap
 
-	mu       sync.Mutex
-	down     bool
-	cells    int
-	failures int
+	mu         sync.Mutex
+	down       bool
+	removed    bool
+	probing    bool // a half-open prober is watching this replica
+	cells      int
+	failures   int
+	skips      int
+	recoveries int
+	downSince  time.Time     // start of the current down stretch (zero if up)
+	downTotal  time.Duration // completed down stretches
+	instance   string        // last /healthz instance id a probe saw
+}
+
+// NormalizeReplicaURL canonicalizes a replica base URL the way the
+// dispatcher stores it (trimmed, no trailing slash) and validates that it
+// is an http(s) URL — the form Members() returns and membership diffing
+// compares against.
+func NormalizeReplicaURL(raw string) (string, error) { return normalizeBase(raw) }
+
+func normalizeBase(raw string) (string, error) {
+	base := strings.TrimRight(strings.TrimSpace(raw), "/")
+	if base == "" {
+		return "", errors.New("bench: empty replica URL")
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return "", fmt.Errorf("bench: replica %q is not an http(s) base URL", raw)
+	}
+	return base, nil
 }
 
 // NewRemoteDispatcher validates the replica list and builds a dispatcher.
@@ -315,15 +425,41 @@ func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatche
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Minute}
 	}
-	d := &RemoteDispatcher{client: client, pack: opt.Pack, packHash: opt.PackHash}
+	probeBase := opt.ProbeInterval
+	switch {
+	case probeBase < 0:
+		probeBase = 0 // probing disabled: down-marks last the dispatcher's lifetime
+	case probeBase == 0:
+		probeBase = time.Second
+	}
+	probeMax := opt.ProbeMax
+	if probeMax <= 0 {
+		probeMax = 30 * time.Second
+	}
+	if probeMax < probeBase {
+		probeMax = probeBase
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	d := &RemoteDispatcher{
+		client:      client,
+		probeClient: &http.Client{Timeout: probeTimeout},
+		pack:        opt.Pack,
+		packHash:    opt.PackHash,
+		inflight:    inflight,
+		probeBase:   probeBase,
+		probeMax:    probeMax,
+		logf:        logf,
+		done:        make(chan struct{}),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	seen := make(map[string]bool)
 	for _, raw := range baseURLs {
-		base := strings.TrimRight(strings.TrimSpace(raw), "/")
-		if base == "" {
-			return nil, fmt.Errorf("bench: empty replica URL in %q", strings.Join(baseURLs, ","))
-		}
-		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
-			return nil, fmt.Errorf("bench: replica %q is not an http(s) base URL", raw)
+		base, err := normalizeBase(raw)
+		if err != nil {
+			return nil, err
 		}
 		if seen[base] {
 			return nil, fmt.Errorf("bench: duplicate replica %q", base)
@@ -332,6 +468,13 @@ func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatche
 		d.replicas = append(d.replicas, &replica{base: base, slot: make(chan struct{}, inflight)})
 	}
 	return d, nil
+}
+
+// Close stops the dispatcher's background probers. In-flight Dispatch calls
+// are unaffected (they carry their own contexts); after Close a down-marked
+// replica stays down. Safe to call more than once.
+func (d *RemoteDispatcher) Close() {
+	d.closeOnce.Do(func() { close(d.done) })
 }
 
 // Dispatch ships the cell to a live replica, re-dispatching on replica
@@ -348,25 +491,36 @@ func (d *RemoteDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Out
 	for {
 		rep := d.pick(tried)
 		if rep == nil {
-			if len(failures) == 0 {
-				return nil, errors.New("no live replicas")
+			// Count the failed attempts even though the cell is lost, so
+			// Retries() agrees with the per-replica Failures counters
+			// whether or not a survivor eventually answered.
+			if n := len(failures); n > 0 {
+				d.mu.Lock()
+				d.retries += n
+				d.mu.Unlock()
+				return nil, fmt.Errorf("all replicas failed: %w", errors.Join(failures...))
 			}
-			return nil, fmt.Errorf("all replicas failed: %w", errors.Join(failures...))
+			return nil, errors.New("no live replicas")
 		}
 		select {
 		case rep.slot <- struct{}{}:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-		// Another dispatch may have down-marked this replica while we
-		// waited for a slot; posting anyway would burn a full client
-		// timeout against a known-dead backend while live replicas idle.
+		// Another dispatch may have down-marked (or a reload removed) this
+		// replica while we waited for a slot; posting anyway would burn a
+		// full client timeout against a known-dead backend while live
+		// replicas idle. The skip is accounted (ReplicaStats.Skips) — no
+		// request was made, so it is neither a cell nor a failure.
 		rep.mu.Lock()
-		down := rep.down
+		skip := rep.down || rep.removed
+		if skip {
+			rep.skips++
+		}
 		rep.mu.Unlock()
-		if down {
+		if skip {
 			<-rep.slot
-			continue // pick() skips down replicas
+			continue // pick() skips down/removed replicas
 		}
 		outcomes, err := d.post(ctx, rep, cell)
 		<-rep.slot
@@ -397,29 +551,67 @@ func (d *RemoteDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Out
 			// The cell itself is invalid; every replica would agree.
 			return nil, err
 		}
-		// Failure detection: stop picking this replica and try another.
-		rep.mu.Lock()
-		rep.failures++
-		rep.down = true
-		rep.mu.Unlock()
+		// Failure detection: stop picking this replica, hand it to the
+		// half-open prober, and try another.
+		d.markDown(rep, err)
 		tried[rep] = true
 		failures = append(failures, fmt.Errorf("%s: %w", rep.base, err))
 	}
 }
 
-// pick returns the live, not-yet-tried replica with the fewest cells in
-// flight, or nil when none remain.
+// markDown trips the failure detector: the replica leaves rotation and, if
+// probing is enabled, a half-open prober starts watching its /healthz for
+// recovery (at most one prober per replica). Each call also counts one
+// failed dispatch attempt on the replica.
+func (d *RemoteDispatcher) markDown(rep *replica, cause error) {
+	rep.mu.Lock()
+	rep.failures++
+	wasDown := rep.down
+	startProbe := false
+	if !wasDown {
+		rep.down = true
+		rep.downSince = time.Now()
+		if d.probeBase > 0 && !rep.probing && !rep.removed {
+			rep.probing = true
+			startProbe = true
+		}
+	}
+	rep.mu.Unlock()
+	if !wasDown {
+		d.logf("replica %s marked down: %v", rep.base, cause)
+	}
+	if startProbe {
+		go d.probe(rep)
+	}
+}
+
+// pick returns a live, not-yet-tried replica with the fewest cells in
+// flight, or nil when none remain. Equal-load ties rotate: the scan starts
+// one replica further along the membership list on every call, so an idle
+// fleet shares cells round-robin instead of the lowest-index replica
+// absorbing every dispatch whose predecessor finished before the next pick
+// (the replica-0 skew this used to have at low concurrency).
 func (d *RemoteDispatcher) pick(tried map[*replica]bool) *replica {
+	d.mu.Lock()
+	replicas := make([]*replica, len(d.replicas))
+	copy(replicas, d.replicas)
+	start := 0
+	if len(replicas) > 0 {
+		start = d.rr % len(replicas)
+		d.rr++
+	}
+	d.mu.Unlock()
 	var best *replica
 	bestLoad := 0
-	for _, rep := range d.replicas {
+	for i := range replicas {
+		rep := replicas[(start+i)%len(replicas)]
 		if tried[rep] {
 			continue
 		}
 		rep.mu.Lock()
-		down := rep.down
+		skip := rep.down || rep.removed
 		rep.mu.Unlock()
-		if down {
+		if skip {
 			continue
 		}
 		load := len(rep.slot)
@@ -471,15 +663,22 @@ func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusConflict {
+		// Only a well-formed PackMismatch with its pack fields filled in is
+		// the replica's considered verdict. Anything else arriving as a 409
+		// — a proxy error page, a truncated body, a zero-valued JSON object
+		// — must read as a replica failure (down-mark + re-dispatch), never
+		// as a pack mismatch or a final request error: both of those abort
+		// the whole run on what is really one broken backend.
 		var pm serveproto.PackMismatch
-		if err := json.NewDecoder(io.LimitReader(resp.Body, 1024)).Decode(&pm); err == nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1024)).Decode(&pm); err == nil &&
+			(pm.HavePack != "" || pm.HaveHash != "") {
 			return nil, &PackMismatchError{
 				Replica:  rep.base,
 				WantPack: pm.WantPack, WantHash: pm.WantHash,
 				HavePack: pm.HavePack, HaveHash: pm.HaveHash,
 			}
 		}
-		return nil, &requestError{msg: fmt.Sprintf("status %d: unreadable pack-mismatch body", resp.StatusCode)}
+		return nil, errors.New("status 409 with malformed pack-mismatch body")
 	}
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
@@ -500,35 +699,64 @@ func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([
 	return sr.Outcomes, nil
 }
 
-// Retries reports how many re-dispatch attempts followed replica failures
-// across the run.
+// Retries reports how many dispatch attempts failed at a replica and sent
+// their cell back through replica selection. Attempts on a cell that
+// ultimately failed everywhere count too, so at quiescence Retries equals
+// the sum of ReplicaStats.Failures across the fleet; slot-wait skips are
+// counted separately (ReplicaStats.Skips) because no request was made.
 func (d *RemoteDispatcher) Retries() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.retries
 }
 
-// Stats snapshots every replica's share of the run, in replica-list order.
+// Stats snapshots every replica's share of the run, in membership-list
+// order (removed replicas included, flagged Removed).
 func (d *RemoteDispatcher) Stats() []ReplicaStats {
-	out := make([]ReplicaStats, len(d.replicas))
-	for i, rep := range d.replicas {
+	replicas := d.snapshot()
+	out := make([]ReplicaStats, len(replicas))
+	for i, rep := range replicas {
 		rep.mu.Lock()
-		out[i] = ReplicaStats{BaseURL: rep.base, Cells: rep.cells, Failures: rep.failures, Down: rep.down}
+		downFor := rep.downTotal
+		if rep.down && !rep.downSince.IsZero() {
+			downFor += time.Since(rep.downSince)
+		}
+		out[i] = ReplicaStats{
+			BaseURL:     rep.base,
+			Cells:       rep.cells,
+			Failures:    rep.failures,
+			Skips:       rep.skips,
+			Recoveries:  rep.recoveries,
+			Down:        rep.down,
+			Removed:     rep.removed,
+			DownSeconds: downFor.Seconds(),
+		}
 		rep.mu.Unlock()
 	}
 	return out
 }
 
-// Live returns the base URLs of replicas not marked down, in replica-list
-// order.
+// Live returns the base URLs of replicas in rotation (not down, not
+// removed), in membership-list order.
 func (d *RemoteDispatcher) Live() []string {
 	var live []string
-	for _, rep := range d.replicas {
+	for _, rep := range d.snapshot() {
 		rep.mu.Lock()
-		if !rep.down {
+		ok := !rep.down && !rep.removed
+		rep.mu.Unlock()
+		if ok {
 			live = append(live, rep.base)
 		}
-		rep.mu.Unlock()
 	}
 	return live
+}
+
+// snapshot copies the membership list under the lock so callers can walk it
+// without holding d.mu across per-replica locking.
+func (d *RemoteDispatcher) snapshot() []*replica {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	replicas := make([]*replica, len(d.replicas))
+	copy(replicas, d.replicas)
+	return replicas
 }

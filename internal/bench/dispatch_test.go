@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -139,7 +140,10 @@ func TestRunDispatchedPlumbing(t *testing.T) {
 // testReplica is an httptest-backed dmi-serve stand-in: it answers
 // POST /session from the shared in-process models through the same
 // ResolveCell + RunCell path the daemon uses, with injectable failure
-// modes.
+// modes. Its /healthz mirrors the daemon's: 500 while the failure
+// injection is active (a down replica's health endpoint is down too, so
+// legacy down-stays-down tests hold), ready otherwise — and optionally
+// recovering after a set number of probes, for the half-open circuit tests.
 type testReplica struct {
 	models *agent.Models
 	// failAfter starts answering 500 once this many cells have been
@@ -152,9 +156,25 @@ type testReplica struct {
 	// would wait on the wedged handlers forever.)
 	hang    bool
 	release chan struct{}
+	// conflictBody, when set, answers every /session with 409 and this raw
+	// body — the misclassification cases (proxy page, zero-valued JSON).
+	conflictBody string
+	// probesToRecover lifts the failAfter injection once this many /healthz
+	// probes have arrived (0 = the outage is permanent).
+	probesToRecover int64
+	// instance is echoed on /healthz, mimicking the daemon's per-process id.
+	instance string
 
-	served atomic.Int64 // successful cells
-	failed atomic.Int64 // injected failures
+	served           atomic.Int64 // successful cells
+	failed           atomic.Int64 // injected failures
+	probes           atomic.Int64 // /healthz requests received
+	recovered        atomic.Bool  // failure injection lifted by a probe
+	servedAtRecovery atomic.Int64 // cells served when recovery happened
+}
+
+// failing reports whether the injected outage is active.
+func (tr *testReplica) failing() bool {
+	return tr.failAfter >= 0 && tr.served.Load() >= tr.failAfter && !tr.recovered.Load()
 }
 
 func (tr *testReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -165,7 +185,28 @@ func (tr *testReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if tr.failAfter >= 0 && tr.served.Load() >= tr.failAfter {
+	if r.URL.Path == "/healthz" {
+		n := tr.probes.Add(1)
+		if tr.failing() {
+			if tr.probesToRecover > 0 && n >= tr.probesToRecover {
+				tr.servedAtRecovery.Store(tr.served.Load())
+				tr.recovered.Store(true)
+			} else {
+				http.Error(w, "injected outage", http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serveproto.Health{OK: true, Apps: 1, Instance: tr.instance})
+		return
+	}
+	if tr.conflictBody != "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		io.WriteString(w, tr.conflictBody)
+		return
+	}
+	if tr.failing() {
 		tr.failed.Add(1)
 		http.Error(w, "injected replica failure", http.StatusInternalServerError)
 		return
@@ -305,6 +346,7 @@ func TestRemoteDispatcherEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rd.Close()
 	got, err := RunDispatched(context.Background(), rd, 3, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -342,6 +384,7 @@ func TestRemoteDispatcherFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rd.Close()
 	got, err := RunDispatched(context.Background(), rd, 3, 8)
 	if err != nil {
 		t.Fatalf("failover should absorb the replica failure: %v", err)
@@ -396,6 +439,7 @@ func TestRemoteDispatcherHangingReplica(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rd.Close()
 	got, err := RunDispatched(context.Background(), rd, 3, 8)
 	if err != nil {
 		t.Fatalf("hang detection should absorb the wedged replica: %v", err)
@@ -423,6 +467,7 @@ func TestRemoteDispatcherAllDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rd.Close()
 	if _, err := RunDispatched(context.Background(), rd, 1, 2); err == nil ||
 		!strings.Contains(err.Error(), "all replicas failed") {
 		t.Fatalf("run over dead replicas must fail, got %v", err)
@@ -441,6 +486,7 @@ func TestRemoteDispatcherBadRequestIsFinal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rd.Close()
 	_, err = rd.Dispatch(context.Background(), Cell{Task: "no-such-task", Setting: Matrix()[0].Label, Runs: 1})
 	if err == nil || !strings.Contains(err.Error(), "unknown task") {
 		t.Fatalf("404 must surface as the cell's error, got %v", err)
@@ -458,6 +504,7 @@ func TestRemoteDispatcherRejectsNonPositiveRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rd.Close()
 	if _, err := rd.Dispatch(context.Background(), Cell{Task: "x", Setting: "y", Runs: 0}); err == nil ||
 		!strings.Contains(err.Error(), "must be positive") {
 		t.Fatalf("runs=0 cell must be rejected, got %v", err)
@@ -482,7 +529,11 @@ func TestNewRemoteDispatcherValidation(t *testing.T) {
 			t.Errorf("NewRemoteDispatcher(%q) accepted a bad replica list", urls)
 		}
 	}
-	if _, err := NewRemoteDispatcher([]string{"http://a:1/", "https://b:2"}, RemoteOptions{}); err != nil {
+	rd, err := NewRemoteDispatcher([]string{"http://a:1/", "https://b:2"}, RemoteOptions{})
+	if err != nil {
 		t.Errorf("valid replica list rejected: %v", err)
+	} else {
+		rd.Close()
+		rd.Close() // Close is idempotent
 	}
 }

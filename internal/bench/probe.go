@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serveproto"
+)
+
+// probeTimeout bounds one half-open /healthz round trip. Probes run against
+// replicas already suspected dead, so they must fail fast: a hung replica
+// costs one prober goroutine 5 seconds, not the 5-minute session timeout.
+const probeTimeout = 5 * time.Second
+
+// probe is the half-open side of the circuit breaker: one goroutine per
+// down-marked replica, polling its /healthz on a jittered exponential
+// backoff until the replica answers ready again (then it rejoins rotation)
+// or the dispatcher is closed. "Half-open" because recovery is judged on
+// the cheap health endpoint, not by risking a real cell: no session
+// traffic reaches the replica until a probe has vouched for it.
+//
+// Recovery re-checks pack identity — a replica that restarted with a
+// different task pack is alive but must not rejoin this run's rotation
+// (its outcomes would come from different task content), so the prober
+// keeps backing off until the packs agree. The /healthz instance id
+// distinguishes a replica that blipped from one that was killed and
+// restarted; both recover, but the log says which happened.
+func (d *RemoteDispatcher) probe(rep *replica) {
+	defer func() {
+		rep.mu.Lock()
+		rep.probing = false
+		rep.mu.Unlock()
+	}()
+	backoff := d.probeBase
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-time.After(d.jitter(backoff)):
+		}
+		rep.mu.Lock()
+		stop := rep.removed || !rep.down
+		rep.mu.Unlock()
+		if stop {
+			return
+		}
+		hz, err := d.probeHealthz(rep.base)
+		if err == nil && d.pack != "" && hz.Pack != "" && hz.Pack != d.pack {
+			err = fmt.Errorf("pack %q, want %q", hz.Pack, d.pack)
+		}
+		if err == nil && d.packHash != "" && hz.PackHash != "" && hz.PackHash != d.packHash {
+			err = fmt.Errorf("pack hash %.12s, want %.12s", hz.PackHash, d.packHash)
+		}
+		if err != nil {
+			d.logf("replica %s still down (probe: %v)", rep.base, err)
+			backoff *= 2
+			if backoff > d.probeMax {
+				backoff = d.probeMax
+			}
+			continue
+		}
+		rep.mu.Lock()
+		if rep.removed {
+			rep.mu.Unlock()
+			return
+		}
+		rep.down = false
+		rep.recoveries++
+		var downFor time.Duration
+		if !rep.downSince.IsZero() {
+			downFor = time.Since(rep.downSince)
+			rep.downTotal += downFor
+			rep.downSince = time.Time{}
+		}
+		restarted := hz.Instance != "" && rep.instance != "" && hz.Instance != rep.instance
+		rep.instance = hz.Instance
+		rep.mu.Unlock()
+		if restarted {
+			d.logf("replica %s recovered after %s (new instance %s); back in rotation",
+				rep.base, downFor.Round(time.Millisecond), hz.Instance)
+		} else {
+			d.logf("replica %s recovered after %s; back in rotation",
+				rep.base, downFor.Round(time.Millisecond))
+		}
+		return
+	}
+}
+
+// probeHealthz asks a replica whether it is ready to serve.
+func (d *RemoteDispatcher) probeHealthz(base string) (*serveproto.Health, error) {
+	resp, err := d.probeClient.Get(base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var hz serveproto.Health
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return nil, fmt.Errorf("malformed health body: %w", err)
+	}
+	if !hz.OK {
+		return nil, fmt.Errorf("not ready")
+	}
+	return &hz, nil
+}
+
+// jitter spreads a backoff delay uniformly over [base/2, 3·base/2) so
+// probers for replicas that went down together (one rack, one deploy)
+// don't hammer them back in lockstep.
+func (d *RemoteDispatcher) jitter(base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	f := d.rng.Float64()
+	d.mu.Unlock()
+	return base/2 + time.Duration(f*float64(base))
+}

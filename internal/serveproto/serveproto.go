@@ -108,6 +108,10 @@ type Health struct {
 	Apps     int    `json:"apps"`
 	Pack     string `json:"pack,omitempty"`
 	PackHash string `json:"pack_hash,omitempty"`
+	// Instance identifies this daemon process (a random id drawn at
+	// startup), so a health prober can tell a replica that blipped from one
+	// that was killed and restarted — the instance changes on restart.
+	Instance string `json:"instance,omitempty"`
 }
 
 // HitRatio is the fraction of store lookups served without a build.
