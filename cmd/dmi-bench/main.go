@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dmi-bench [-taskpack FILE] [-runs 3] [-parallel N] [-json FILE] [-table3] [-fig5a] [-fig5b] [-fig6] [-oneshot] [-tokens]
+//	dmi-bench [-cpuprofile FILE] [-memprofile FILE] [-hotpath FILE] ...
 //
 // With no section flags, everything is printed. -taskpack evaluates a task
 // pack loaded from JSON (see internal/taskpack) instead of the compiled-in
@@ -13,8 +14,15 @@
 // produces a byte-identical report. -parallel serves the
 // (setting, task, run) grid from a worker pool sharing the warm models; the
 // report is byte-identical to the sequential run. -json additionally writes
-// a machine-readable throughput baseline (sessions/sec, model-store warm-hit
-// ratio) for CI perf tracking.
+// a machine-readable throughput baseline (sessions/sec, warm-hit ratio) for
+// CI perf tracking.
+//
+// The profiling flags drive the hot-path work: -cpuprofile/-memprofile write
+// runtime/pprof profiles of the whole run (the heap profile is taken after a
+// final GC, so it shows retained memory, not transient garbage), and
+// -hotpath writes the snapshot-codec size record — per-app and total graph
+// bytes under the binary codec versus JSON — that CI composes into
+// BENCH_delta.json and gates on.
 package main
 
 import (
@@ -25,12 +33,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/bench"
 	"repro/internal/modelstore"
 	"repro/internal/taskpack"
+	"repro/internal/ung"
 )
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
@@ -64,11 +76,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "rip worker-pool size for the offline phase (0 = auto)")
 	parallel := fs.Int("parallel", 1, "online-phase worker-pool size (1 = sequential, 0 = GOMAXPROCS)")
 	jsonOut := fs.String("json", "", "write a machine-readable baseline (sessions/sec, warm-hit ratio) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+	hotpath := fs.String("hotpath", "", "write the snapshot-codec size record (binary vs JSON bytes per app) to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
 		}
 		return errUsage
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("dmi-bench: cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("dmi-bench: cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	all := !*table3 && !*fig5a && !*fig5b && !*fig6 && !*oneshot && !*tokens
@@ -103,6 +129,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "baseline written to %s\n", *jsonOut)
 	}
+	if *hotpath != "" {
+		if err := writeHotpath(*hotpath); err != nil {
+			return fmt.Errorf("hotpath: %w", err)
+		}
+		fmt.Fprintf(stderr, "hot-path size record written to %s\n", *hotpath)
+	}
 
 	w := stdout
 	if all || *table3 {
@@ -123,7 +155,85 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if all || *tokens {
 		rep.WriteTokens(w, models)
 	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			return fmt.Errorf("dmi-bench: memprofile: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeHeapProfile snapshots the heap after a final GC, so the profile shows
+// what the run retains (the warm models, the store's resident set), not the
+// transient garbage of the last sessions.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// hotpathApp is one application's share of the snapshot-codec size record.
+type hotpathApp struct {
+	App         string `json:"app"`
+	Nodes       int    `json:"nodes"`
+	BinaryBytes int    `json:"binary_bytes"`
+	JSONBytes   int    `json:"json_bytes"`
+}
+
+// hotpathRecord is the -hotpath output: every catalog graph encoded under
+// both snapshot codecs, with the totals CI's bench-delta gate compares
+// (binary must stay well under JSON — see .github/workflows/ci.yml).
+type hotpathRecord struct {
+	Apps        []hotpathApp `json:"apps"`
+	BinaryBytes int64        `json:"binary_bytes"`
+	JSONBytes   int64        `json:"json_bytes"`
+	BinaryRatio float64      `json:"binary_ratio"`
+}
+
+// writeHotpath encodes every catalog application's ripped graph under both
+// snapshot codecs and records the sizes. The graphs come from the shared
+// store the online phase already warmed, so this costs two encodes per app,
+// never a re-rip.
+func writeHotpath(path string) error {
+	factories := agent.Factories()
+	apps := make([]string, 0, len(factories))
+	//dmi:orderinvariant collected app names are sorted before use
+	for app := range factories {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	rec := hotpathRecord{Apps: make([]hotpathApp, 0, len(apps))}
+	for _, app := range apps {
+		b, err := agent.SharedStore().Build(app, factories[app], modelstore.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", app, err)
+		}
+		bin, err := ung.EncodeBinary(b.Graph)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app, err)
+		}
+		js, err := ung.Encode(b.Graph)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app, err)
+		}
+		rec.Apps = append(rec.Apps, hotpathApp{
+			App: app, Nodes: len(b.Graph.Order), BinaryBytes: len(bin), JSONBytes: len(js),
+		})
+		rec.BinaryBytes += int64(len(bin))
+		rec.JSONBytes += int64(len(js))
+	}
+	if rec.JSONBytes > 0 {
+		rec.BinaryRatio = float64(rec.BinaryBytes) / float64(rec.JSONBytes)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // baseline is the machine-readable perf record CI uploads per run

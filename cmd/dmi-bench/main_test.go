@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/agent"
 	"repro/internal/bench"
 	"repro/internal/osworld"
 )
@@ -133,5 +134,75 @@ func TestJSONBaseline(t *testing.T) {
 	// must be resident and at least one build must have been a miss.
 	if b.Store.Misses < 1 || b.Store.ResidentModels < 1 || b.Store.ResidentBytes <= 0 {
 		t.Errorf("store counters implausible: %+v", b.Store)
+	}
+}
+
+// TestHotpathRecord: -hotpath writes the snapshot-codec size record CI's
+// bench-delta gate consumes — one entry per catalog app, both codecs
+// measured, and the binary total well under the JSON total (the ≤0.7× gate
+// in ci.yml, asserted here at the source).
+func TestHotpathRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "1", "-table3", "-hotpath", path}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errb.String(), "hot-path size record written") {
+		t.Errorf("stderr never confirmed the hotpath record:\n%s", errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec hotpathRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("hotpath record is not valid JSON: %v\n%s", err, data)
+	}
+	if len(rec.Apps) != len(agent.Factories()) {
+		t.Errorf("record covers %d apps, want the full %d-app catalog", len(rec.Apps), len(agent.Factories()))
+	}
+	for _, app := range rec.Apps {
+		if app.Nodes <= 0 || app.BinaryBytes <= 0 || app.JSONBytes <= 0 {
+			t.Errorf("degenerate per-app entry: %+v", app)
+		}
+		if app.BinaryBytes >= app.JSONBytes {
+			t.Errorf("%s: binary (%d B) not smaller than JSON (%d B)", app.App, app.BinaryBytes, app.JSONBytes)
+		}
+	}
+	if rec.BinaryBytes <= 0 || rec.JSONBytes <= 0 {
+		t.Fatalf("degenerate totals: %+v", rec)
+	}
+	if rec.BinaryRatio > 0.7 {
+		t.Errorf("binary/JSON ratio %.3f exceeds the 0.7 CI gate", rec.BinaryRatio)
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile produce non-empty pprof
+// files without disturbing the run.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation")
+	}
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-runs", "1", "-table3", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Table 3") {
+		t.Error("profiled run lost its report")
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(path))
+		}
 	}
 }

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	dmi-coord -replicas http://a:8480,http://b:8480 [-taskpack FILE] [-runs 3] [-inflight 4] [-wait 3m] [-json FILE]
+//	dmi-coord -replicas http://a:8480,http://b:8480 [-taskpack FILE] [-runs 3] [-inflight 4] [-batch 16] [-wait 3m] [-json FILE]
 //	dmi-coord -membership FILE [-stream] [-soak 10m -rate 20] ...
 //
 // Exactly one of -replicas (fixed fleet) or -membership (elastic fleet: one
@@ -21,7 +21,11 @@
 // failures, recoveries, joins, and leaves. -soak replaces the single grid
 // pass with a sustained open-loop load (cell arrivals on a fixed-rate
 // clock, latency percentiles and recovery counts in the -json baseline) —
-// the regression gate for the recovery path.
+// the regression gate for the recovery path. -batch coalesces up to N cells
+// into one POST /v1/cells per request against replicas that speak the
+// versioned protocol; replicas that answer only the legacy routes draw a
+// deprecation note and keep taking one cell per request. -pprof serves
+// net/http/pprof profiles on a second listener for production profiling.
 //
 // The evaluation report goes to stdout (same sections, same bytes as
 // `dmi-bench`); coordination telemetry — per-replica cell counts, retries,
@@ -45,7 +49,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -91,6 +97,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	packFile := fs.String("taskpack", "", "task pack JSON to resolve cells from (default: the built-in osworld-w grid); every replica must serve the same pack")
 	runs := fs.Int("runs", 3, "seeded repetitions per task (paper: 3)")
 	inflight := fs.Int("inflight", 4, "max cells in flight per replica")
+	batch := fs.Int("batch", 1, "coalesce up to this many cells per POST /v1/cells against v1 replicas (1 = one cell per request)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	stream := fs.Bool("stream", false, "feed cells from a work queue as fleet capacity frees up, instead of a fixed pre-sharded fan-out")
 	// The default matches RemoteOptions' own: sized to outlast the slowest
 	// legitimate cell (max runs on a cold model), comfortably inside
@@ -126,6 +134,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		fmt.Fprintf(stderr, "dmi-coord: -rate %g must be positive with -soak\n", *rate)
 		return errUsage
 	}
+	if *batch < 1 || *batch > serveproto.MaxBatchCells {
+		fmt.Fprintf(stderr, "dmi-coord: -batch %d must be in [1, %d]\n", *batch, serveproto.MaxBatchCells)
+		return errUsage
+	}
 	var replicas []string
 	if *membershipFile != "" {
 		var err error
@@ -141,8 +153,20 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	if err != nil {
 		return fmt.Errorf("dmi-coord: %w", err)
 	}
+	if *pprofAddr != "" {
+		// A second listener, as in dmi-serve: profile scrapes never contend
+		// with dispatch traffic. net/http/pprof registered on the default mux.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("dmi-coord: pprof: %w", err)
+		}
+		defer pln.Close()
+		go http.Serve(pln, nil)
+		fmt.Fprintf(stderr, "dmi-coord: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 	rd, err := bench.NewRemoteDispatcher(replicas, bench.RemoteOptions{
 		InFlight:      *inflight,
+		Batch:         *batch,
 		Client:        &http.Client{Timeout: *timeout},
 		Pack:          reg.Name(),
 		PackHash:      reg.Hash(),
@@ -181,13 +205,16 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	}
 
 	if *soak > 0 {
-		return runSoakMode(ctx, rd, reg, *soak, *rate, *runs, *inflight, *jsonOut, stderr)
+		return runSoakMode(ctx, rd, reg, *soak, *rate, *runs, *inflight, *batch, *jsonOut, stderr)
 	}
 
 	cells := bench.GridCellsIn(reg, *runs)
 	mode := "fixed fan-out"
 	if *stream {
 		mode = "streaming work queue"
+	}
+	if *batch > 1 {
+		mode += fmt.Sprintf(", batching ≤%d cells/request", *batch)
 	}
 	fmt.Fprintf(stderr, "dmi-coord: dispatching %d cells (%d settings × %d tasks, %d runs each) from pack %s across %d replicas (%s), ≤%d in flight each…\n",
 		len(cells), len(bench.Matrix()), len(cells)/len(bench.Matrix()), *runs, reg.Name(), len(rd.Live()), mode, *inflight)
@@ -196,7 +223,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	if *stream {
 		rep, err = bench.RunStreamedIn(ctx, reg, rd, *runs)
 	} else {
-		concurrency := *inflight * len(rd.Live())
+		// A batch occupies one in-flight slot but carries up to -batch
+		// cells, so the fan-out must be scaled by the batch factor to keep
+		// every replica's slots saturated with full batches.
+		concurrency := *inflight * len(rd.Live()) * *batch
 		rep, err = bench.RunDispatchedIn(ctx, reg, rd, *runs, concurrency)
 	}
 	if err != nil {
@@ -250,7 +280,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	writeReplicaLines(stderr, rd)
 
 	if *jsonOut != "" {
-		if err := writeBaseline(*jsonOut, rd, *runs, *inflight, len(cells), elapsed, warmHit, nil); err != nil {
+		if err := writeBaseline(*jsonOut, rd, *runs, *inflight, *batch, len(cells), elapsed, warmHit, nil); err != nil {
 			return fmt.Errorf("dmi-coord: baseline: %w", err)
 		}
 		fmt.Fprintf(stderr, "dmi-coord: baseline written to %s\n", *jsonOut)
@@ -393,6 +423,12 @@ func waitHealthy(ctx context.Context, replicas []string, reg *taskpack.Registry,
 			return fmt.Errorf("replica %s serves task pack %s (hash %.12s), this run needs %s (hash %.12s); restart it with the coordinator's -taskpack",
 				base, hz.Pack, hz.PackHash, reg.Name(), reg.Hash())
 		}
+		if hz.Proto < serveproto.ProtoV1 {
+			// Pre-versioning replica: it works for this run over the legacy
+			// aliases, but those are a one-release compatibility surface and
+			// -batch cannot reach it.
+			fmt.Fprintf(stderr, "dmi-coord: replica %s answers only deprecated legacy routes (no /v1 surface); upgrade it before the aliases are removed\n", base)
+		}
 		fmt.Fprintf(stderr, "dmi-coord: replica %s is ready\n", base)
 	}
 	return nil
@@ -457,6 +493,7 @@ func scrapeStats(ctx context.Context, replicas []string, stderr io.Writer) []ser
 type coordBaseline struct {
 	Replicas       int                  `json:"replicas"`
 	InFlight       int                  `json:"inflight"`
+	Batch          int                  `json:"batch"`
 	Runs           int                  `json:"runs"`
 	Cells          int                  `json:"cells"`
 	ElapsedSeconds float64              `json:"elapsed_seconds"`
@@ -467,10 +504,11 @@ type coordBaseline struct {
 	Soak           *soakStats           `json:"soak,omitempty"`
 }
 
-func writeBaseline(path string, rd *bench.RemoteDispatcher, runs, inflight, cells int, elapsed time.Duration, warmHit float64, soak *soakStats) error {
+func writeBaseline(path string, rd *bench.RemoteDispatcher, runs, inflight, batch, cells int, elapsed time.Duration, warmHit float64, soak *soakStats) error {
 	b := coordBaseline{
 		Replicas:       len(rd.Stats()),
 		InFlight:       inflight,
+		Batch:          batch,
 		Runs:           runs,
 		Cells:          cells,
 		ElapsedSeconds: elapsed.Seconds(),

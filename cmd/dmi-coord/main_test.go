@@ -52,6 +52,14 @@ func TestBadFlagIsAnError(t *testing.T) {
 	if !strings.Contains(errb.String(), "must be positive with -soak") {
 		t.Errorf("bad-rate message absent from stderr:\n%s", errb.String())
 	}
+	for _, batch := range []string{"0", "-2", fmt.Sprint(serveproto.MaxBatchCells + 1)} {
+		if err := run([]string{"-replicas", "http://a:1", "-batch", batch}, &out, &errb); !errors.Is(err, errUsage) {
+			t.Fatalf("-batch %s should be a usage error, got %v", batch, err)
+		}
+	}
+	if !strings.Contains(errb.String(), "-batch") {
+		t.Errorf("bad-batch message absent from stderr:\n%s", errb.String())
+	}
 	if err := run([]string{"-membership", filepath.Join(t.TempDir(), "absent.txt")}, &out, &errb); err == nil || errors.Is(err, errUsage) {
 		t.Fatalf("unreadable membership file should be a hard error, got %v", err)
 	}
@@ -91,7 +99,12 @@ type replica struct {
 	// outage is a switchable outage — sessions and /healthz both 500 while
 	// set — so soak tests can take a replica down and bring it back.
 	outage atomic.Bool
-	served atomic.Int64
+	// v1 makes the replica advertise serveproto.ProtoV1 and answer the
+	// versioned route set, including POST /v1/cells; left false it is a
+	// faithful pre-versioning replica (legacy routes only, no proto field).
+	v1         bool
+	served     atomic.Int64
+	batchCalls atomic.Int64 // POST /v1/cells envelopes received
 }
 
 // failing reports whether an injected failure mode is active.
@@ -101,21 +114,25 @@ func (rp *replica) failing() bool {
 
 func (rp *replica) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		if rp.failing() {
 			http.Error(w, "injected outage", http.StatusInternalServerError)
 			return
 		}
-		json.NewEncoder(w).Encode(serveproto.Health{OK: true, Apps: len(agent.AppNames())})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		hz := serveproto.Health{OK: true, Apps: len(agent.AppNames())}
+		if rp.v1 {
+			hz.Proto = serveproto.ProtoV1
+		}
+		json.NewEncoder(w).Encode(hz)
+	}
+	stats := func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(serveproto.StatsResponse{
 			Sessions:   rp.served.Load(),
 			Store:      agent.StoreStats(),
 			CoreTokens: rp.models.CoreTokens,
 		})
-	})
-	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
+	}
+	session := func(w http.ResponseWriter, r *http.Request) {
 		if rp.failing() {
 			http.Error(w, "injected replica failure", http.StatusInternalServerError)
 			return
@@ -135,7 +152,41 @@ func (rp *replica) handler() http.Handler {
 		json.NewEncoder(w).Encode(serveproto.SessionResponse{
 			App: task.App, Task: task.ID, Setting: set.Label, Runs: req.Runs, Outcomes: outcomes,
 		})
-	})
+	}
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/stats", stats)
+	mux.HandleFunc("/session", session)
+	if rp.v1 {
+		mux.HandleFunc("/v1/healthz", healthz)
+		mux.HandleFunc("/v1/stats", stats)
+		mux.HandleFunc("/v1/session", session)
+		mux.HandleFunc("/v1/cells", func(w http.ResponseWriter, r *http.Request) {
+			if rp.failing() {
+				http.Error(w, "injected replica failure", http.StatusInternalServerError)
+				return
+			}
+			var req serveproto.BatchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rp.batchCalls.Add(1)
+			resp := serveproto.BatchResponse{Results: make([]serveproto.BatchCellResult, len(req.Cells))}
+			for i, cr := range req.Cells {
+				set, task, err := bench.ResolveCell(bench.Cell{App: cr.App, Task: cr.Task, Setting: cr.Setting, Runs: cr.Runs})
+				if err != nil {
+					resp.Results[i] = serveproto.BatchCellResult{Status: http.StatusBadRequest, Error: err.Error()}
+					continue
+				}
+				outcomes := bench.RunCell(rp.models, set, task, cr.Runs, 1)
+				rp.served.Add(1)
+				resp.Results[i] = serveproto.BatchCellResult{Status: http.StatusOK, Response: &serveproto.SessionResponse{
+					App: task.App, Task: task.ID, Setting: set.Label, Runs: cr.Runs, Outcomes: outcomes,
+				}}
+			}
+			json.NewEncoder(w).Encode(resp)
+		})
+	}
 	return mux
 }
 
@@ -213,6 +264,11 @@ func TestCoordinatorByteIdentical(t *testing.T) {
 			t.Errorf("coordination telemetry missing %q:\n%s", fragment, errb.String())
 		}
 	}
+	// Both replicas are pre-versioning stand-ins, so startup must warn that
+	// they only answer the deprecated legacy routes.
+	if !strings.Contains(errb.String(), "deprecated legacy routes") {
+		t.Errorf("no deprecation note for legacy replicas:\n%s", errb.String())
+	}
 
 	raw, err := os.ReadFile(jsonPath)
 	if err != nil {
@@ -227,6 +283,65 @@ func TestCoordinatorByteIdentical(t *testing.T) {
 	}
 	if len(base.PerReplica) != 2 || base.PerReplica[0].Cells+base.PerReplica[1].Cells != int(cells) {
 		t.Errorf("per-replica shares out of shape: %+v", base.PerReplica)
+	}
+}
+
+// TestCoordinatorBatchedByteIdentical: -batch against a v1 fleet coalesces
+// cells into /v1/cells envelopes, records the batch factor in the baseline,
+// and still emits the byte-identical report — batching is a transport
+// optimization, never a semantic change.
+func TestCoordinatorBatchedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog modeling plus full-grid fan-out")
+	}
+	models, want := groundTruth(t)
+	a := &replica{models: models, failAfter: -1, v1: true}
+	b := &replica{models: models, failAfter: -1, v1: true}
+	srvA, srvB := httptest.NewServer(a.handler()), httptest.NewServer(b.handler())
+	defer srvA.Close()
+	defer srvB.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_coord.json")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-replicas", srvA.URL + "," + srvB.URL,
+		"-runs", "1",
+		"-batch", "8",
+		"-json", jsonPath,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("batched coordinator failed: %v\nstderr:\n%s", err, errb.String())
+	}
+	if out.String() != want {
+		t.Error("batched coordinator report is not byte-identical to in-process bench.Run")
+	}
+	cells := int64(len(bench.GridCells(1)))
+	if total := a.served.Load() + b.served.Load(); total != cells {
+		t.Errorf("replicas served %d cells, want %d", total, cells)
+	}
+	if a.batchCalls.Load()+b.batchCalls.Load() == 0 {
+		t.Error("no cell ever arrived through a /v1/cells envelope")
+	}
+	if !strings.Contains(errb.String(), "batching") {
+		t.Errorf("telemetry should name the batching mode:\n%s", errb.String())
+	}
+	if strings.Contains(errb.String(), "deprecated") {
+		t.Errorf("v1 replicas drew a deprecation note:\n%s", errb.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base coordBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Batch != 8 {
+		t.Errorf("baseline batch = %d, want 8", base.Batch)
+	}
+	if base.Cells != int(cells) || base.Retries != 0 {
+		t.Errorf("baseline out of shape: %+v", base)
 	}
 }
 

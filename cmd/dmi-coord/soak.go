@@ -42,7 +42,7 @@ type soakStats struct {
 
 // runSoakMode is the -soak top half: drive the load, print the telemetry,
 // write the baseline.
-func runSoakMode(ctx context.Context, rd *bench.RemoteDispatcher, reg *taskpack.Registry, duration time.Duration, rate float64, runs, inflight int, jsonOut string, stderr io.Writer) error {
+func runSoakMode(ctx context.Context, rd *bench.RemoteDispatcher, reg *taskpack.Registry, duration time.Duration, rate float64, runs, inflight, batch int, jsonOut string, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "dmi-coord: soaking for %s at %.1f cells/s (open loop, %d runs per cell) across %d replicas…\n",
 		duration, rate, runs, len(rd.Live()))
 	ss, err := runSoak(ctx, rd, reg, duration, rate, runs)
@@ -54,7 +54,7 @@ func runSoakMode(ctx context.Context, rd *bench.RemoteDispatcher, reg *taskpack.
 		ss.LatencyP50Ms, ss.LatencyP90Ms, ss.LatencyP99Ms, ss.LatencyMaxMs, ss.Recoveries, ss.DownSeconds)
 	writeReplicaLines(stderr, rd)
 	if jsonOut != "" {
-		if err := writeBaseline(jsonOut, rd, runs, inflight, ss.Completed, duration, 0, ss); err != nil {
+		if err := writeBaseline(jsonOut, rd, runs, inflight, batch, ss.Completed, duration, 0, ss); err != nil {
 			return fmt.Errorf("dmi-coord: baseline: %w", err)
 		}
 		fmt.Fprintf(stderr, "dmi-coord: baseline written to %s\n", jsonOut)

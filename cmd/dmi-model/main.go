@@ -5,13 +5,14 @@
 //
 // Modeling goes through the model store: -workers distributes the rip over
 // a pool of throwaway instances (byte-identical result), and -snapshot
-// persists the ripped graphs as JSON so later runs rebuild the models with
-// zero rip clicks.
+// persists the ripped graphs so later runs rebuild the models with zero rip
+// clicks — compact binary by default, -snapshot-format json for the
+// greppable debug form (either format loads either way).
 //
 // Usage:
 //
 //	dmi-model [-app Word|Excel|PowerPoint|Settings|Files|all] [-threshold 64]
-//	          [-sweep] [-workers 4] [-snapshot DIR]
+//	          [-sweep] [-workers 4] [-snapshot DIR] [-snapshot-format binary|json]
 package main
 
 import (
@@ -53,11 +54,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	threshold := fs.Int("threshold", 64, "clone-cost threshold for selective externalization")
 	sweep := fs.Bool("sweep", false, "sweep externalization thresholds (design-choice ablation)")
 	workers := fs.Int("workers", 4, "rip worker-pool size (1 = sequential)")
-	snapshot := fs.String("snapshot", "", "directory for JSON graph snapshots (reused across runs)")
+	snapshot := fs.String("snapshot", "", "directory for graph snapshots (reused across runs)")
+	snapshotFormat := fs.String("snapshot-format", "binary", "snapshot encoding: binary (compact default) or json (debug)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
 		}
+		return errUsage
+	}
+	format, err := modelstore.ParseSnapshotFormat(*snapshotFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return errUsage
 	}
 
@@ -71,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *snapshot != "" {
 		store = modelstore.NewPersistent(*snapshot)
 	}
+	store.SetSnapshotFormat(format)
 	opt := modelstore.Options{
 		Transform: forest.Options{CloneThreshold: *threshold},
 		Workers:   *workers,

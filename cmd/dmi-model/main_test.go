@@ -56,14 +56,50 @@ func TestSnapshotReuseAcrossRuns(t *testing.T) {
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("no snapshot written to %s (%v)", dir, err)
 	}
-	if filepath.Ext(entries[0].Name()) != ".json" {
-		t.Errorf("snapshot %q is not JSON", entries[0].Name())
+	if filepath.Ext(entries[0].Name()) != ".ungb" {
+		t.Errorf("snapshot %q is not the binary default", entries[0].Name())
 	}
 	if err := run([]string{"-app", "Files", "-snapshot", dir}, &warm, &errb); err != nil {
 		t.Fatalf("warm run: %v", err)
 	}
 	if !strings.Contains(warm.String(), "snapshot") || !strings.Contains(warm.String(), "0s") {
 		t.Fatalf("warm run should rebuild from the snapshot with zero rip time:\n%s", warm.String())
+	}
+}
+
+func TestSnapshotFormatJSONDebug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	dir := t.TempDir()
+	var cold, warm, errb bytes.Buffer
+	if err := run([]string{"-app", "Files", "-snapshot", dir, "-snapshot-format", "json"}, &cold, &errb); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no snapshot written to %s (%v)", dir, err)
+	}
+	if filepath.Ext(entries[0].Name()) != ".json" {
+		t.Errorf("snapshot %q is not JSON", entries[0].Name())
+	}
+	// A binary-default run must reuse the JSON snapshot: the loader falls
+	// back to the other format's file instead of re-ripping.
+	if err := run([]string{"-app", "Files", "-snapshot", dir}, &warm, &errb); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !strings.Contains(warm.String(), "snapshot") {
+		t.Fatalf("binary-default run should reuse the JSON snapshot:\n%s", warm.String())
+	}
+}
+
+func TestBadSnapshotFormatIsAnError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-snapshot-format", "yaml"}, &out, &errb); err == nil {
+		t.Fatal("expected a snapshot-format error")
+	}
+	if !strings.Contains(errb.String(), "yaml") {
+		t.Errorf("error should name the bad format:\n%s", errb.String())
 	}
 }
 

@@ -10,17 +10,25 @@
 //
 // Usage:
 //
-//	dmi-serve [-addr host:port] [-budget BYTES] [-snapshot DIR] [-workers N] [-parallel N] [-taskpack FILE]
+//	dmi-serve [-addr host:port] [-budget BYTES] [-snapshot DIR] [-snapshot-format binary|json]
+//	          [-workers N] [-parallel N] [-taskpack FILE] [-pprof host:port]
 //
 // -taskpack serves a task-pack file (see internal/taskpack) instead of the
 // compiled-in grid. Requests that name a different pack are answered 409.
+// -pprof serves net/http/pprof profiles on a second listener (never on the
+// serving address). -snapshot-format selects the snapshot encoding the
+// store writes (compact binary by default; json is the debug form).
 //
-// Endpoints (wire types in internal/serveproto):
+// Endpoints (wire types in internal/serveproto, protocol v1):
 //
-//	POST /session  {"app","task","setting","runs"[,"pack","pack_hash"]} → the cell's outcomes
-//	GET  /stats    store counters (hits, misses, snapshot loads, evictions,
-//	               resident bytes) plus serving totals and warm-hit ratio
-//	GET  /healthz  readiness (the catalog prewarm completed) + served pack identity
+//	POST /v1/session  {"app","task","setting","runs"[,"pack","pack_hash"]} → the cell's outcomes
+//	POST /v1/cells    {"cells":[...]} → per-cell results, one HTTP call for a whole batch
+//	GET  /v1/stats    store counters (hits, misses, snapshot loads, evictions,
+//	                  resident bytes) plus serving totals and warm-hit ratio
+//	GET  /v1/healthz  readiness (the catalog prewarm completed) + served pack identity
+//
+// The pre-v1 unversioned routes (/session, /stats, /healthz) remain as
+// aliases for one release; /v1/cells is v1-only.
 //
 // On SIGINT or SIGTERM the daemon stops accepting connections, drains
 // in-flight sessions, and exits 0 — the clean-stop contract the
@@ -38,8 +46,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -101,6 +111,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	// multiplies that, so it is opt-in for large multi-run requests.
 	parallel := fs.Int("parallel", 1, "per-request session worker-pool size for multi-run cells (1 = sequential, 0 = GOMAXPROCS)")
 	packFile := fs.String("taskpack", "", "task-pack file to serve instead of the compiled-in grid")
+	snapshotFormat := fs.String("snapshot-format", "binary", "snapshot encoding: binary (compact default) or json (debug)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
@@ -111,12 +123,29 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		fmt.Fprintf(stderr, "dmi-serve: unexpected argument %q\n", fs.Arg(0))
 		return errUsage
 	}
+	format, err := modelstore.ParseSnapshotFormat(*snapshotFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return errUsage
+	}
 	reg, err := loadRegistry(*packFile)
 	if err != nil {
 		return fmt.Errorf("dmi-serve: %w", err)
 	}
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so profile scrapes never
+		// contend with session traffic (and the serving port never exposes
+		// /debug/pprof). net/http/pprof registered on the default mux.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("dmi-serve: pprof: %w", err)
+		}
+		defer pln.Close()
+		go http.Serve(pln, nil)
+		fmt.Fprintf(stderr, "dmi-serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
-	srv, err := newServer(reg, *budget, *snapshot, *workers, *parallel, stderr)
+	srv, err := newServer(reg, *budget, *snapshot, format, *workers, *parallel, stderr)
 	if err != nil {
 		return err
 	}
@@ -205,8 +234,10 @@ type server struct {
 // itself evicts (AppNames order, LRU), which is intended: it populates the
 // snapshot directory so later reloads are rip-free, and it leaves the most
 // recently warmed models resident.
-func newServer(reg *taskpack.Registry, budget int64, snapshotDir string, ripWorkers, parallel int, progress io.Writer) (*server, error) {
-	s := newBareServer(modelstore.NewBudgeted(snapshotDir, budget), reg, ripWorkers, parallel)
+func newServer(reg *taskpack.Registry, budget int64, snapshotDir string, format modelstore.SnapshotFormat, ripWorkers, parallel int, progress io.Writer) (*server, error) {
+	store := modelstore.NewBudgeted(snapshotDir, budget)
+	store.SetSnapshotFormat(format)
+	s := newBareServer(store, reg, ripWorkers, parallel)
 	for _, app := range agent.AppNames() {
 		m, err := agent.ModelsFor(s.store, app, ripWorkers)
 		if err != nil {
@@ -234,6 +265,13 @@ func newBareServer(store *modelstore.Store, reg *taskpack.Registry, ripWorkers, 
 		coreTokens: make(map[string]int),
 	}
 	mux := http.NewServeMux()
+	// Protocol v1 routes plus the pre-v1 unversioned aliases (kept for one
+	// release so mixed fleets upgrade replica-by-replica). /v1/cells is the
+	// batch endpoint and is v1-only — it never existed unversioned.
+	mux.HandleFunc("/v1/session", s.handleSession)
+	mux.HandleFunc("/v1/cells", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -261,28 +299,111 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
 		return
 	}
+	if s.rejectPackMismatch(w, req.Pack, req.PackHash) {
+		return
+	}
+	resp, status, msg := s.runCellRequest(req)
+	if resp == nil {
+		http.Error(w, msg, status)
+		return
+	}
+	writeJSON(w, *resp)
+}
+
+// handleBatch is POST /v1/cells: up to MaxBatchCells session requests in
+// one HTTP call. The pack handshake is request-level (409 rejects the whole
+// batch, same as a single session); everything past it is per-cell — each
+// cell carries the status it would have gotten as its own POST /session, so
+// one bad cell never poisons its batch-mates.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// The body cap scales with the declared batch size (clamped to
+	// [1, MaxBatchCells]): a flat per-session cap would reject a full batch
+	// of legitimate cells, an unconditional max-batch cap would let a
+	// single-cell client post 64× what it should. The declared count is a
+	// limit declaration, not trusted content — the decoded batch is
+	// re-checked against MaxBatchCells below.
+	declared, _ := strconv.Atoi(r.Header.Get(serveproto.BatchSizeHeader))
+	limit := serveproto.BatchRequestBytes(declared)
+	var req serveproto.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes (declare the batch size in %s)",
+				limit, serveproto.BatchSizeHeader), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Cells) == 0 {
+		http.Error(w, "batch has no cells", http.StatusBadRequest)
+		return
+	}
+	if len(req.Cells) > serveproto.MaxBatchCells {
+		http.Error(w, fmt.Sprintf("batch of %d cells exceeds the %d cap", len(req.Cells), serveproto.MaxBatchCells),
+			http.StatusBadRequest)
+		return
+	}
+	if s.rejectPackMismatch(w, req.Pack, req.PackHash) {
+		return
+	}
+	results := make([]serveproto.BatchCellResult, len(req.Cells))
+	for i, cell := range req.Cells {
+		// Cell-level pack fields must agree with the batch-level handshake
+		// already validated; a cell naming a different pack is its own
+		// mismatch, not the batch's.
+		if (cell.Pack != "" && cell.Pack != s.reg.Name()) ||
+			(cell.PackHash != "" && cell.PackHash != s.reg.Hash()) {
+			results[i] = serveproto.BatchCellResult{Status: http.StatusConflict, Error: "pack mismatch"}
+			continue
+		}
+		resp, status, msg := s.runCellRequest(cell)
+		if resp == nil {
+			results[i] = serveproto.BatchCellResult{Status: status, Error: msg}
+			continue
+		}
+		results[i] = serveproto.BatchCellResult{Status: http.StatusOK, Response: resp}
+	}
+	writeJSON(w, serveproto.BatchResponse{
+		Pack:     s.reg.Name(),
+		PackHash: s.reg.Hash(),
+		Results:  results,
+	})
+}
+
+// rejectPackMismatch runs the pack handshake: a request naming a different
+// pack (or the same pack at a different content hash) must not run —
+// outcomes are pure functions of the task content, so answering from a
+// mismatched grid would corrupt the caller's whole report. 409 with both
+// identities tells the operator exactly which side to restart.
+func (s *server) rejectPackMismatch(w http.ResponseWriter, pack, packHash string) bool {
+	if (pack == "" || pack == s.reg.Name()) && (packHash == "" || packHash == s.reg.Hash()) {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(serveproto.PackMismatch{
+		WantPack: pack, WantHash: packHash,
+		HavePack: s.reg.Name(), HaveHash: s.reg.Hash(),
+	})
+	return true
+}
+
+// runCellRequest validates and executes one session request — the shared
+// core of POST /session and each cell of POST /v1/cells. On success the
+// response is non-nil; otherwise status and msg carry the HTTP rejection.
+// The pack handshake is the caller's, not runCellRequest's.
+func (s *server) runCellRequest(req serveproto.SessionRequest) (*serveproto.SessionResponse, int, string) {
 	runs := req.Runs
 	if runs <= 0 {
 		runs = 1
 	}
 	if runs > serveproto.MaxRuns {
-		http.Error(w, fmt.Sprintf("runs %d exceeds the %d cap", runs, serveproto.MaxRuns), http.StatusBadRequest)
-		return
-	}
-	// Pack handshake: a request naming a different pack (or the same pack at
-	// a different content hash) must not run — outcomes are pure functions
-	// of the task content, so answering from a mismatched grid would corrupt
-	// the caller's whole report. 409 with both identities tells the operator
-	// exactly which side to restart.
-	if (req.Pack != "" && req.Pack != s.reg.Name()) ||
-		(req.PackHash != "" && req.PackHash != s.reg.Hash()) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusConflict)
-		json.NewEncoder(w).Encode(serveproto.PackMismatch{
-			WantPack: req.Pack, WantHash: req.PackHash,
-			HavePack: s.reg.Name(), HaveHash: s.reg.Hash(),
-		})
-		return
+		return nil, http.StatusBadRequest, fmt.Sprintf("runs %d exceeds the %d cap", runs, serveproto.MaxRuns)
 	}
 	set, task, err := bench.ResolveCellIn(s.reg, bench.Cell{App: req.App, Task: req.Task, Setting: req.Setting, Runs: runs})
 	if err != nil {
@@ -290,8 +411,7 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, bench.ErrUnknownCell) {
 			status = http.StatusNotFound
 		}
-		http.Error(w, err.Error(), status)
-		return
+		return nil, status, err.Error()
 	}
 
 	s.mu.Lock()
@@ -310,8 +430,7 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	// bench.Run's.
 	models, err := agent.ModelsFor(s.store, task.App, s.ripWorkers)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("model build failed: %v", err), http.StatusInternalServerError)
-		return
+		return nil, http.StatusInternalServerError, fmt.Sprintf("model build failed: %v", err)
 	}
 	outcomes := bench.RunCell(models, set, task, runs, s.parallel)
 
@@ -320,7 +439,7 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	s.runs += int64(len(outcomes))
 	s.mu.Unlock()
 
-	writeJSON(w, serveproto.SessionResponse{
+	return &serveproto.SessionResponse{
 		App:      task.App,
 		Task:     task.ID,
 		Setting:  set.Label,
@@ -328,7 +447,7 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		Pack:     s.reg.Name(),
 		PackHash: s.reg.Hash(),
 		Outcomes: outcomes,
-	})
+	}, http.StatusOK, ""
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -360,7 +479,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// means ready.
 	writeJSON(w, serveproto.Health{
 		OK: true, Apps: len(agent.AppNames()),
-		Pack: s.reg.Name(), PackHash: s.reg.Hash(),
+		Proto: serveproto.ProtoV1,
+		Pack:  s.reg.Name(), PackHash: s.reg.Hash(),
 		Instance: s.instance,
 	})
 }

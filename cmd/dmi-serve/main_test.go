@@ -284,6 +284,81 @@ func TestServeDaemon(t *testing.T) {
 		}
 	})
 
+	// The batch endpoint must be transport-only: a POST /v1/cells carrying
+	// one cell per app yields, cell for cell, the same outcome bytes as the
+	// single-session endpoint and the in-process run.
+	t.Run("v1-batch-byte-identical", func(t *testing.T) {
+		apps := make([]string, 0, len(taskIdx))
+		for _, task := range tasks {
+			found := false
+			for _, a := range apps {
+				if a == task.App {
+					found = true
+					break
+				}
+			}
+			if !found {
+				apps = append(apps, task.App)
+			}
+		}
+		cells := make([]serveproto.SessionRequest, 0, len(apps))
+		for _, app := range apps {
+			cells = append(cells, serveproto.SessionRequest{
+				App: app, Task: tasks[taskIdx[app]].ID, Setting: labels[0], Runs: runs,
+			})
+		}
+		body, _ := json.Marshal(serveproto.BatchRequest{Cells: cells})
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/cells", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(serveproto.BatchSizeHeader, fmt.Sprint(len(cells)))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch: status %d (%v): %s", resp.StatusCode, err, raw)
+		}
+		var br serveproto.RawBatchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatal(err)
+		}
+		var results []serveproto.RawBatchCellResult
+		if err := json.Unmarshal(br.Results, &results); err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(cells) {
+			t.Fatalf("batch of %d cells answered %d results", len(cells), len(results))
+		}
+		var row bench.Row
+		for _, r := range rep.Rows {
+			if r.Setting.Label == labels[0] {
+				row = r
+			}
+		}
+		for i, res := range results {
+			if res.Status != http.StatusOK {
+				t.Errorf("cell %d: status %d (%s)", i, res.Status, res.Error)
+				continue
+			}
+			var sr serveproto.RawSessionResponse
+			if err := json.Unmarshal(res.Response, &sr); err != nil {
+				t.Errorf("cell %d: %v", i, err)
+				continue
+			}
+			ti := taskIdx[apps[i]]
+			want, err := json.Marshal(row.Outcomes[ti*runs : (ti+1)*runs])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sr.Outcomes, want) {
+				t.Errorf("cell %d (%s): batched outcomes diverge from in-process bench.Run\n got: %s\nwant: %s",
+					i, apps[i], sr.Outcomes, want)
+			}
+		}
+	})
+
 	// Graceful shutdown: cancel runCtx while a session is verifiably in
 	// flight; the daemon must drain it (the POST completes with 200) and
 	// then return nil — the clean-stop contract the coordinator's failure
@@ -370,6 +445,181 @@ func TestOversizeBodyIs413(t *testing.T) {
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/session", strings.NewReader("{not json")))
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("malformed body: status %d, want 400", rec.Code)
+	}
+}
+
+// TestRouteSets pins both route generations: every endpoint answers under
+// /v1/ and (except the v1-only batch route) under its pre-v1 unversioned
+// alias, with both sets backed by the same handlers — probed with
+// wrong-method requests, which prove the route is wired without paying for
+// a session. Dropping an alias before its deprecation release, or wiring an
+// alias to a different handler, fails here.
+func TestRouteSets(t *testing.T) {
+	s := newBareServer(modelstore.New(), taskpack.Builtin(), 1, 1)
+	probe := func(method, path string) int {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+		return rec.Code
+	}
+
+	// Wrong method on a wired route is 405; an unwired route is 404.
+	for _, path := range []string{"/v1/session", "/session", "/v1/cells"} {
+		if code := probe(http.MethodGet, path); code != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, code)
+		}
+	}
+	for _, path := range []string{"/v1/stats", "/stats", "/v1/healthz", "/healthz"} {
+		if code := probe(http.MethodPost, path); code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, code)
+		}
+	}
+	// The batch endpoint never existed unversioned — no alias to keep.
+	if code := probe(http.MethodPost, "/cells"); code != http.StatusNotFound {
+		t.Errorf("POST /cells: status %d, want 404 (batch is v1-only)", code)
+	}
+
+	// Both healthz routes serve the same readiness body, now carrying the
+	// protocol generation.
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var hz serveproto.Health
+		if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if rec.Code != http.StatusOK || !hz.OK || hz.Proto != serveproto.ProtoV1 {
+			t.Errorf("GET %s: status %d, body %+v — want 200 with proto %d", path, rec.Code, hz, serveproto.ProtoV1)
+		}
+	}
+}
+
+// batchBodyOfSize builds a syntactically valid one-cell batch body padded
+// to exactly size bytes (the padding lives inside the task string, so the
+// decoder must read through it and the byte cap is exercised mid-value).
+func batchBodyOfSize(t *testing.T, size int) []byte {
+	t.Helper()
+	skeleton := `{"cells":[{"task":"","setting":"s","runs":1}]}`
+	if size <= len(skeleton) {
+		t.Fatalf("size %d smaller than the %d-byte skeleton", size, len(skeleton))
+	}
+	body := `{"cells":[{"task":"` + strings.Repeat("x", size-len(skeleton)) + `","setting":"s","runs":1}]}`
+	if len(body) != size {
+		t.Fatalf("built %d bytes, want %d", len(body), size)
+	}
+	return []byte(body)
+}
+
+// TestBatchBodyCapScalesWithDeclaredSize is the 413 regression test at the
+// boundary: POST /v1/cells sizes its MaxBytesReader from the declared batch
+// size (Dmi-Batch-Cells) instead of the flat per-session cap, so a full
+// batch of maximum-size cells fits — while an undeclared or under-declared
+// batch still trips the single-cell cap, and an absurd declaration clamps
+// at MaxBatchCells.
+func TestBatchBodyCapScalesWithDeclaredSize(t *testing.T) {
+	s := newBareServer(modelstore.New(), taskpack.Builtin(), 1, 1)
+	post := func(body []byte, declare string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/cells", bytes.NewReader(body))
+		if declare != "" {
+			req.Header.Set(serveproto.BatchSizeHeader, declare)
+		}
+		s.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Exactly at the single-cell cap: accepted without any declaration (the
+	// unknown task is a per-cell 404 inside a 200 batch — past the cap).
+	rec := post(batchBodyOfSize(t, serveproto.MaxRequestBytes), "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("body at the %d-byte cap: status %d, want 200; %s",
+			serveproto.MaxRequestBytes, rec.Code, rec.Body.String())
+	}
+
+	// One byte over: the flat cap must trip without a declaration and must
+	// NOT trip when the client declares a 2-cell batch.
+	over := batchBodyOfSize(t, serveproto.MaxRequestBytes+1)
+	if rec := post(over, ""); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("undeclared over-cap body: status %d, want 413", rec.Code)
+	}
+	if rec := post(over, "1"); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("declared-1 over-cap body: status %d, want 413", rec.Code)
+	}
+	if rec := post(over, "2"); rec.Code != http.StatusOK {
+		t.Errorf("declared-2 over-cap body: status %d, want 200; %s", rec.Code, rec.Body.String())
+	}
+
+	// The declaration scales the cap but never past MaxBatchCells: a body
+	// over the full-batch limit is refused no matter what the client claims.
+	tooBig := batchBodyOfSize(t, int(serveproto.BatchRequestBytes(serveproto.MaxBatchCells))+1)
+	if rec := post(tooBig, fmt.Sprint(1<<30)); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("body over the clamped max-batch cap: status %d, want 413", rec.Code)
+	}
+}
+
+// TestBatchValidation pins the batch envelope checks and per-cell status
+// independence on a bare server (every probe rejects before model work).
+func TestBatchValidation(t *testing.T) {
+	s := newBareServer(modelstore.New(), taskpack.Builtin(), 1, 1)
+	post := func(req serveproto.BatchRequest) *httptest.ResponseRecorder {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		hr := httptest.NewRequest(http.MethodPost, "/v1/cells", bytes.NewReader(body))
+		hr.Header.Set(serveproto.BatchSizeHeader, fmt.Sprint(len(req.Cells)))
+		s.ServeHTTP(rec, hr)
+		return rec
+	}
+
+	if rec := post(serveproto.BatchRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", rec.Code)
+	}
+	overfull := serveproto.BatchRequest{Cells: make([]serveproto.SessionRequest, serveproto.MaxBatchCells+1)}
+	if rec := post(overfull); rec.Code != http.StatusBadRequest {
+		t.Errorf("batch over the %d-cell cap: status %d, want 400", serveproto.MaxBatchCells, rec.Code)
+	}
+
+	// A batch-level pack mismatch rejects the whole call with the same 409
+	// body as a single session.
+	rec := post(serveproto.BatchRequest{Pack: "custom", Cells: []serveproto.SessionRequest{{Task: "word-replace", Setting: "D-M"}}})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("batch pack mismatch: status %d, want 409", rec.Code)
+	}
+	var mm serveproto.PackMismatch
+	if err := json.Unmarshal(rec.Body.Bytes(), &mm); err != nil || mm.HavePack != taskpack.BuiltinName {
+		t.Errorf("409 body is not a PackMismatch: %v %s", err, rec.Body.String())
+	}
+
+	// Per-cell independence: an unknown task, an over-cap runs count, and a
+	// cell-level pack mismatch ride one batch and each get their own status
+	// — the batch itself is 200.
+	rec = post(serveproto.BatchRequest{Cells: []serveproto.SessionRequest{
+		{Task: "no-such-task", Setting: "GUI+DMI / GPT-5 / Medium", Runs: 1},
+		{Task: "word-replace", Setting: "D-M", Runs: serveproto.MaxRuns + 1},
+		{Task: "word-replace", Setting: "D-M", Runs: 1, Pack: "custom"},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mixed batch: status %d, want 200; %s", rec.Code, rec.Body.String())
+	}
+	var br serveproto.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{http.StatusNotFound, http.StatusBadRequest, http.StatusConflict}
+	if len(br.Results) != len(want) {
+		t.Fatalf("%d results for %d cells", len(br.Results), len(want))
+	}
+	for i, res := range br.Results {
+		if res.Status != want[i] {
+			t.Errorf("cell %d: status %d, want %d (%s)", i, res.Status, want[i], res.Error)
+		}
+		if res.Error == "" {
+			t.Errorf("cell %d: rejection carries no error", i)
+		}
+	}
+	if br.Pack != taskpack.BuiltinName {
+		t.Errorf("batch response pack %q, want %q", br.Pack, taskpack.BuiltinName)
 	}
 }
 

@@ -349,12 +349,12 @@ func trimCellPrefix(s string) string {
 
 // dmiPrompt is the token cost of a DMI-mode call: usage prompt, the core
 // navigation forest (>80% of the overhead, §5.4), screen labels, and the
-// passive DataItem payload.
+// passive DataItem payload. It runs before every LLM call, so it costs the
+// screen through the one-pass PromptStats instead of a full label capture.
 func (d *driver) dmiPrompt() int {
-	lm := d.sess.CaptureLabels()
-	passive := d.sess.PassiveTexts(lm, 24)
+	controls, passive := d.sess.PromptStats(24)
 	return 700 + d.models.CoreTokens[d.task.App] +
-		lm.Len()*2 + strutil.EstimateTokens(passive) +
+		controls*2 + strutil.EstimateTokens(passive) +
 		strutil.EstimateTokens(d.task.Description)
 }
 

@@ -29,3 +29,50 @@ type Duplicate struct {
 type Wrapped struct {
 	Good `json:"good"` // want `embedded field in a serveproto wire struct`
 }
+
+// Envelope/RawEnvelope: a compliant raw view — same names, same tags, with
+// json.RawMessage standing in for the undecoded payload. No diagnostics.
+type Envelope struct {
+	App     string `json:"app"`
+	Results []Good `json:"results"`
+}
+
+type RawEnvelope struct {
+	App     string          `json:"app"`
+	Results json.RawMessage `json:"results"`
+}
+
+type Skewed struct {
+	App  string `json:"app"`
+	Runs int    `json:"runs"`
+}
+
+type RawSkewed struct {
+	App  string `json:"application"` // want `raw view RawSkewed field App has tag`
+	Runs int    `json:"runs"`
+}
+
+type Grown struct {
+	App   string `json:"app"`
+	Extra int    `json:"extra"`
+}
+
+type RawGrown struct { // want `raw view RawGrown has 1 fields but Grown has 2`
+	App string `json:"app"`
+}
+
+type Renamed struct {
+	App string `json:"app"`
+}
+
+type RawRenamed struct {
+	Application string `json:"app"` // want `raw view RawRenamed field 0 is Application but Renamed names it App`
+}
+
+type Typed struct {
+	Runs int `json:"runs"`
+}
+
+type RawTyped struct {
+	Runs string `json:"runs"` // want `raw view RawTyped field Runs has type string, want int or json.RawMessage`
+}

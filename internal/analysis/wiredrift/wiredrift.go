@@ -20,6 +20,13 @@
 // serveproto says, which is exactly the drift the shared package exists to
 // prevent. Views needed only for testing (raw-byte comparisons, partial
 // decodes) belong in serveproto next to the structs they mirror.
+//
+// Those raw views are themselves a drift surface, so the analyzer pins them
+// too: a serveproto struct named Raw<X> whose base <X> exists must mirror it
+// field for field — same field names in the same order, identical struct
+// tags — with json.RawMessage permitted wherever the view leaves a payload
+// undecoded. A field added to BatchResponse but not RawBatchResponse is then
+// a vet failure, not a silently-partial byte-equivalence test.
 package wiredrift
 
 import (
@@ -64,6 +71,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		insp.Preorder([]ast.Node{(*ast.StructType)(nil)}, func(n ast.Node) {
 			checkWireStruct(pass, n.(*ast.StructType))
 		})
+		checkRawMirrors(pass)
 		return nil, nil
 	}
 	if vetkit.InScope(pass.Pkg.Path(), ClientScope) {
@@ -128,6 +136,62 @@ func jsonTagName(f *ast.Field) (name string, ok bool) {
 	}
 	name, _, _ = strings.Cut(tag, ",")
 	return name, true
+}
+
+// checkRawMirrors pins every Raw<X> view struct to its base <X>: same field
+// names in the same order, identical struct tags, and identical field types
+// except where the view substitutes json.RawMessage for an undecoded
+// payload.
+func checkRawMirrors(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		base, ok := strings.CutPrefix(name, "Raw")
+		if !ok || base == "" {
+			continue
+		}
+		baseObj := scope.Lookup(base)
+		if baseObj == nil {
+			continue
+		}
+		rawObj := scope.Lookup(name)
+		rawSt, ok := rawObj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		baseSt, ok := baseObj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if rawSt.NumFields() != baseSt.NumFields() {
+			pass.Reportf(rawObj.Pos(), "raw view %s has %d fields but %s has %d: raw views must mirror their base struct field for field",
+				name, rawSt.NumFields(), base, baseSt.NumFields())
+			continue
+		}
+		for i := 0; i < rawSt.NumFields(); i++ {
+			rf, bf := rawSt.Field(i), baseSt.Field(i)
+			switch {
+			case rf.Name() != bf.Name():
+				pass.Reportf(rf.Pos(), "raw view %s field %d is %s but %s names it %s: raw views must mirror field order and names",
+					name, i, rf.Name(), base, bf.Name())
+			case rawSt.Tag(i) != baseSt.Tag(i):
+				pass.Reportf(rf.Pos(), "raw view %s field %s has tag %q but %s tags it %q: a raw view must keep the same wire names",
+					name, rf.Name(), rawSt.Tag(i), base, baseSt.Tag(i))
+			case !types.Identical(rf.Type(), bf.Type()) && !isRawMessage(rf.Type()):
+				pass.Reportf(rf.Pos(), "raw view %s field %s has type %s, want %s or json.RawMessage",
+					name, rf.Name(), rf.Type(), bf.Type())
+			}
+		}
+	}
+}
+
+// isRawMessage reports whether t is encoding/json.RawMessage.
+func isRawMessage(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "encoding/json" && obj.Name() == "RawMessage"
 }
 
 // checkDecodeTarget flags json.Unmarshal / (*json.Decoder).Decode calls

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/osworld"
+)
+
+// batchedDispatcher builds a RemoteDispatcher with coalescing enabled and a
+// test-friendly linger: long enough that a burst of concurrent dispatches
+// deterministically lands in one batch when the test wants it to.
+func batchedDispatcher(t *testing.T, urls []string, opt RemoteOptions, linger time.Duration) *RemoteDispatcher {
+	t.Helper()
+	rd, err := NewRemoteDispatcher(urls, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rd.Close)
+	// Safe before the first Dispatch: the collector only reads the linger
+	// after receiving an item, which the enqueue channel orders after this
+	// write.
+	rd.linger = linger
+	return rd
+}
+
+// TestRemoteDispatcherBatchEquivalence: two v1 replicas, full grid, batching
+// on — the report must be byte-identical to the sequential in-process run,
+// with every cell delivered through the batch surface and zero retries.
+func TestRemoteDispatcherBatchEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation over HTTP")
+	}
+	models, rep := sharedReport(t)
+	a := &testReplica{models: models, failAfter: -1, v1: true}
+	b := &testReplica{models: models, failAfter: -1, v1: true}
+	rd := batchedDispatcher(t, startReplicas(t, a, b), RemoteOptions{InFlight: 4, Batch: 8}, batchLinger)
+	got, err := RunDispatched(context.Background(), rd, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(models, got) != renderAll(models, rep) {
+		t.Fatal("batched remote report differs from sequential in-process run")
+	}
+	cells := int64(len(GridCells(3)))
+	if served := a.served.Load() + b.served.Load(); served != cells {
+		t.Errorf("replicas served %d cells, want %d", served, cells)
+	}
+	if viaBatch := a.batchCells.Load() + b.batchCells.Load(); viaBatch != cells {
+		t.Errorf("%d of %d cells travelled the batch surface; the rest leaked to /session", viaBatch, cells)
+	}
+	if a.batchCalls.Load() == 0 || b.batchCalls.Load() == 0 {
+		t.Errorf("batch sharding is lopsided: %d vs %d envelopes", a.batchCalls.Load(), b.batchCalls.Load())
+	}
+	if rd.Retries() != 0 {
+		t.Errorf("healthy batched replicas produced %d retries", rd.Retries())
+	}
+}
+
+// TestRemoteDispatcherBatchCoalesces pins the transport amortization itself:
+// four concurrent dispatches against a batch-of-4 dispatcher with a long
+// linger must arrive as exactly one POST /v1/cells carrying four cells.
+func TestRemoteDispatcherBatchCoalesces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts HTTP servers")
+	}
+	models, _ := sharedReport(t)
+	tr := &testReplica{models: models, failAfter: -1, v1: true}
+	rd := batchedDispatcher(t, startReplicas(t, tr), RemoteOptions{Batch: 4}, 2*time.Second)
+	settings, tasks := Matrix(), osworld.All()
+	cells := []Cell{
+		{Task: tasks[0].ID, Setting: settings[0].Label, Runs: 1},
+		{Task: tasks[1].ID, Setting: settings[0].Label, Runs: 1},
+		{Task: tasks[0].ID, Setting: settings[1].Label, Runs: 1},
+		{Task: tasks[1].ID, Setting: settings[1].Label, Runs: 1},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cells))
+	outs := make([][]agent.Outcome, len(cells))
+	for i, cell := range cells {
+		wg.Add(1)
+		go func(i int, cell Cell) {
+			defer wg.Done()
+			outs[i], errs[i] = rd.Dispatch(context.Background(), cell)
+		}(i, cell)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if len(outs[i]) != 1 {
+			t.Fatalf("cell %d: %d outcomes, want 1", i, len(outs[i]))
+		}
+	}
+	if calls := tr.batchCalls.Load(); calls != 1 {
+		t.Errorf("4 concurrent dispatches produced %d batch envelopes, want 1", calls)
+	}
+	if n := tr.batchCells.Load(); n != 4 {
+		t.Errorf("the batch carried %d cells, want 4", n)
+	}
+}
+
+// TestRemoteDispatcherBatchFailover: a v1 replica that dies mid-grid fails
+// its batch envelopes; the cells must fall back through the single-session
+// retry loop to the survivor, the report must still match the sequential
+// run byte-for-byte, and the retry ledger must stay consistent with the
+// per-replica failure counters.
+func TestRemoteDispatcherBatchFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation over HTTP")
+	}
+	models, rep := sharedReport(t)
+	flaky := &testReplica{models: models, failAfter: 10, v1: true}
+	healthy := &testReplica{models: models, failAfter: -1, v1: true}
+	rd := batchedDispatcher(t, startReplicas(t, flaky, healthy), RemoteOptions{InFlight: 4, Batch: 4}, batchLinger)
+	got, err := RunDispatched(context.Background(), rd, 3, 8)
+	if err != nil {
+		t.Fatalf("batched failover should absorb the replica failure: %v", err)
+	}
+	if renderAll(models, got) != renderAll(models, rep) {
+		t.Fatal("batched report after mid-grid failover differs from sequential run")
+	}
+	if rd.Retries() < 1 {
+		t.Error("the failed batch was never counted as a re-dispatch")
+	}
+	sum := 0
+	for _, st := range rd.Stats() {
+		sum += st.Failures
+	}
+	if rd.Retries() != sum {
+		t.Errorf("Retries() = %d, but per-replica failures sum to %d", rd.Retries(), sum)
+	}
+	if stats := rd.Stats(); !stats[0].Down || stats[1].Down {
+		t.Errorf("down-marks landed on the wrong replica: %+v", stats)
+	}
+	if total := flaky.served.Load() + healthy.served.Load(); total != int64(len(GridCells(3))) {
+		t.Errorf("replicas served %d cells, want %d", total, len(GridCells(3)))
+	}
+}
+
+// TestRemoteDispatcherBatchBadCellIsFinal: one invalid cell inside a batch
+// must surface as that cell's own final 4xx while its three batch-mates
+// succeed untouched — the per-cell status contract that keeps one typo from
+// poisoning a whole envelope. The replica is never at fault, so nothing is
+// down-marked and nothing retries.
+func TestRemoteDispatcherBatchBadCellIsFinal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts HTTP servers")
+	}
+	models, _ := sharedReport(t)
+	tr := &testReplica{models: models, failAfter: -1, v1: true}
+	rd := batchedDispatcher(t, startReplicas(t, tr), RemoteOptions{Batch: 4}, 2*time.Second)
+	settings, tasks := Matrix(), osworld.All()
+	cells := []Cell{
+		{Task: tasks[0].ID, Setting: settings[0].Label, Runs: 1},
+		{Task: "no-such-task", Setting: settings[0].Label, Runs: 1},
+		{Task: tasks[1].ID, Setting: settings[0].Label, Runs: 1},
+		{Task: tasks[2].ID, Setting: settings[0].Label, Runs: 1},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cells))
+	for i, cell := range cells {
+		wg.Add(1)
+		go func(i int, cell Cell) {
+			defer wg.Done()
+			_, errs[i] = rd.Dispatch(context.Background(), cell)
+		}(i, cell)
+	}
+	wg.Wait()
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "unknown task") {
+		t.Fatalf("the bad cell must fail with its own 404, got %v", errs[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if errs[i] != nil {
+			t.Errorf("cell %d poisoned by its bad batch-mate: %v", i, errs[i])
+		}
+	}
+	if stats := rd.Stats(); stats[0].Down {
+		t.Error("a bad cell must not down the replica")
+	}
+	if rd.Retries() != 0 {
+		t.Errorf("a bad cell must not retry, got %d retries", rd.Retries())
+	}
+}
+
+// TestRemoteDispatcherBatchLegacyFallback: a replica that predates the /v1
+// surface takes batched dispatches through the single-session fallback —
+// the run succeeds, no envelope ever reaches the replica, and the
+// deprecation note names it exactly once.
+func TestRemoteDispatcherBatchLegacyFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts HTTP servers")
+	}
+	models, _ := sharedReport(t)
+	tr := &testReplica{models: models, failAfter: -1} // legacy: no v1
+	urls := startReplicas(t, tr)
+	var mu sync.Mutex
+	var logs []string
+	rd := batchedDispatcher(t, urls, RemoteOptions{
+		Batch: 4,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}, 2*time.Second)
+	settings, tasks := Matrix(), osworld.All()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cell := Cell{Task: tasks[i].ID, Setting: settings[0].Label, Runs: 1}
+			_, errs[i] = rd.Dispatch(context.Background(), cell)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d through the legacy fallback: %v", i, err)
+		}
+	}
+	if tr.batchCalls.Load() != 0 {
+		t.Errorf("a legacy replica received %d batch envelopes", tr.batchCalls.Load())
+	}
+	if tr.served.Load() != 3 {
+		t.Errorf("legacy replica served %d cells, want 3", tr.served.Load())
+	}
+	mu.Lock()
+	joined := strings.Join(logs, "\n")
+	mu.Unlock()
+	if !strings.Contains(joined, "deprecated") || !strings.Contains(joined, urls[0]) {
+		t.Errorf("legacy replica never drew a deprecation note naming it; logs:\n%s", joined)
+	}
+	if n := strings.Count(joined, "deprecated"); n != 1 {
+		t.Errorf("deprecation note logged %d times, want once (the verdict is cached)", n)
+	}
+}
+
+// TestRunStreamedBatchedEquivalence: the capacity-paced streaming runner and
+// batching compose — cells coalesce transparently under RunStreamed and the
+// report still renders byte-identically to the sequential run.
+func TestRunStreamedBatchedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix evaluation over HTTP")
+	}
+	models, rep := sharedReport(t)
+	a := &testReplica{models: models, failAfter: -1, v1: true}
+	b := &testReplica{models: models, failAfter: -1, v1: true}
+	rd := batchedDispatcher(t, startReplicas(t, a, b), RemoteOptions{InFlight: 4, Batch: 8}, batchLinger)
+	got, err := RunStreamed(context.Background(), rd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(models, got) != renderAll(models, rep) {
+		t.Fatal("streamed batched report differs from sequential in-process run")
+	}
+	if a.batchCalls.Load()+b.batchCalls.Load() == 0 {
+		t.Error("no cell ever travelled the batch surface under streaming")
+	}
+}

@@ -328,6 +328,16 @@ type RemoteOptions struct {
 	// Empty values skip the handshake (legacy behavior).
 	Pack     string
 	PackHash string
+	// Batch, when > 1, coalesces up to that many concurrent dispatches into
+	// one POST /v1/cells per call (clamped to serveproto.MaxBatchCells),
+	// amortizing per-HTTP overhead at high cell rates. Batching is a pure
+	// transport optimization: replicas that predate the /v1 surface, failed
+	// batch envelopes, and individually failed cells all fall back to the
+	// single-session path with its full retry/failover semantics, so reports
+	// stay byte-identical to an unbatched run. A batch occupies one of its
+	// replica's in-flight slots, so a coordinator sizing concurrency should
+	// multiply by the batch factor.
+	Batch int
 	// ProbeInterval is the base delay between half-open /healthz probes of
 	// a down-marked replica (default 1s; negative disables probing, which
 	// freezes the pre-recovery behavior of a down-mark lasting the whole
@@ -343,13 +353,18 @@ type RemoteOptions struct {
 }
 
 // RemoteDispatcher shards cells across N dmi-serve replicas over the
-// HTTP/JSON POST /session protocol. Each dispatch picks the least-loaded
+// HTTP/JSON serving protocol. Each dispatch picks the least-loaded
 // live replica (equal-load ties rotate round-robin), bounded by the
 // per-replica in-flight cap. A transport error, a 5xx, or a malformed
 // response marks the replica down and the cell is re-dispatched to another
 // replica — safe because cells are idempotent (see Cell). A 4xx is the
 // request's fault, not the replica's: it is returned immediately without
 // marking anything down, since every replica would reject it identically.
+//
+// With RemoteOptions.Batch > 1 concurrent dispatches coalesce into
+// POST /v1/cells batches (see batch.go); otherwise each cell is its own
+// POST /session (or /v1/session once a replica's protocol generation is
+// known — both route sets answer identically for one release).
 //
 // A down-mark is detection, not a death sentence: a half-open prober polls
 // the replica's /healthz on a jittered backoff and returns it to rotation
@@ -367,7 +382,11 @@ type RemoteDispatcher struct {
 	probeMax    time.Duration
 	logf        func(string, ...any)
 
-	done      chan struct{} // closed by Close; stops probers
+	batch  int             // max cells per /v1/cells call; <= 1 disables batching
+	linger time.Duration   // how long the collector holds an underfull batch open
+	batchQ chan *batchItem // dispatches parked for coalescing (nil when not batching)
+
+	done      chan struct{} // closed by Close; stops probers and the batch collector
 	closeOnce sync.Once
 
 	mu       sync.Mutex
@@ -383,6 +402,7 @@ type replica struct {
 	slot chan struct{} // in-flight cap
 
 	mu         sync.Mutex
+	proto      int // protoUnknown until detected from /healthz (see protoFor)
 	down       bool
 	removed    bool
 	probing    bool // a half-open prober is watching this replica
@@ -443,6 +463,10 @@ func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatche
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	batch := opt.Batch
+	if batch > serveproto.MaxBatchCells {
+		batch = serveproto.MaxBatchCells
+	}
 	d := &RemoteDispatcher{
 		client:      client,
 		probeClient: &http.Client{Timeout: probeTimeout},
@@ -452,8 +476,13 @@ func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatche
 		probeBase:   probeBase,
 		probeMax:    probeMax,
 		logf:        logf,
+		batch:       batch,
+		linger:      batchLinger,
 		done:        make(chan struct{}),
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if batch > 1 {
+		d.batchQ = make(chan *batchItem, batch)
 	}
 	seen := make(map[string]bool)
 	for _, raw := range baseURLs {
@@ -467,23 +496,63 @@ func NewRemoteDispatcher(baseURLs []string, opt RemoteOptions) (*RemoteDispatche
 		seen[base] = true
 		d.replicas = append(d.replicas, &replica{base: base, slot: make(chan struct{}, inflight)})
 	}
+	if d.batchQ != nil {
+		go d.collect()
+	}
 	return d, nil
 }
 
-// Close stops the dispatcher's background probers. In-flight Dispatch calls
-// are unaffected (they carry their own contexts); after Close a down-marked
-// replica stays down. Safe to call more than once.
+// Close stops the dispatcher's background probers and, when batching, its
+// coalescing collector. In-flight Dispatch calls are unaffected (they carry
+// their own contexts; a dispatch racing Close falls back to the
+// single-session path); after Close a down-marked replica stays down. Safe
+// to call more than once.
 func (d *RemoteDispatcher) Close() {
 	d.closeOnce.Do(func() { close(d.done) })
 }
 
 // Dispatch ships the cell to a live replica, re-dispatching on replica
-// failure until a replica answers or none are left.
+// failure until a replica answers or none are left. When batching is
+// enabled the cell first parks in the coalescing queue so concurrent
+// dispatches share a POST /v1/cells; every batch failure mode falls back to
+// the single-session path below, so the caller-visible contract is
+// identical either way.
 func (d *RemoteDispatcher) Dispatch(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
 	if cell.Runs <= 0 {
 		// The daemon would coerce runs<=0 to 1 and the response would then
 		// fail the cell contract, reading as a replica failure — reject the
 		// cell before it can down-mark healthy replicas.
+		return nil, fmt.Errorf("runs %d must be positive", cell.Runs)
+	}
+	if d.batchQ == nil {
+		return d.dispatchSingle(ctx, cell)
+	}
+	select {
+	case <-d.done:
+		// Closed dispatcher: the collector is gone, don't park the cell.
+		return d.dispatchSingle(ctx, cell)
+	default:
+	}
+	it := &batchItem{ctx: ctx, cell: cell, res: make(chan batchResult, 1)}
+	select {
+	case d.batchQ <- it:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-it.res:
+		return r.outcomes, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dispatchSingle is the one-cell-per-request dispatch loop: pick, post,
+// and on replica failure re-dispatch until a replica answers or none are
+// left. It is both the unbatched path and the fallback every batch failure
+// mode degrades to.
+func (d *RemoteDispatcher) dispatchSingle(ctx context.Context, cell Cell) ([]agent.Outcome, error) {
+	if cell.Runs <= 0 {
 		return nil, fmt.Errorf("runs %d must be positive", cell.Runs)
 	}
 	tried := make(map[*replica]bool)
@@ -642,8 +711,12 @@ func (e *PackMismatchError) Error() string {
 		e.Replica, e.HavePack, e.HaveHash, e.WantPack, e.WantHash)
 }
 
-// post runs one POST /session round trip and validates the response against
-// the cell contract.
+// post runs one single-session round trip and validates the response
+// against the cell contract. The request goes to /v1/session once the
+// replica's protocol generation is known to be v1, and to the legacy
+// /session otherwise — a replica whose generation was never detected (the
+// common unbatched case) keeps the legacy route, which every generation
+// answers.
 func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([]agent.Outcome, error) {
 	body, err := json.Marshal(serveproto.SessionRequest{
 		App: cell.App, Task: cell.Task, Setting: cell.Setting, Runs: cell.Runs,
@@ -652,7 +725,13 @@ func (d *RemoteDispatcher) post(ctx context.Context, rep *replica, cell Cell) ([
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+"/session", bytes.NewReader(body))
+	path := "/session"
+	rep.mu.Lock()
+	if rep.proto == protoV1 {
+		path = "/v1/session"
+	}
+	rep.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

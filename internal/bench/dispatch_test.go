@@ -164,12 +164,19 @@ type testReplica struct {
 	probesToRecover int64
 	// instance is echoed on /healthz, mimicking the daemon's per-process id.
 	instance string
+	// v1 makes the replica speak the versioned protocol generation: its
+	// /healthz advertises serveproto.ProtoV1 and it answers POST /v1/cells.
+	// Left false, the replica is a faithful legacy stand-in — no proto in
+	// its health body and a 404 on the batch route.
+	v1 bool
 
 	served           atomic.Int64 // successful cells
 	failed           atomic.Int64 // injected failures
 	probes           atomic.Int64 // /healthz requests received
 	recovered        atomic.Bool  // failure injection lifted by a probe
 	servedAtRecovery atomic.Int64 // cells served when recovery happened
+	batchCalls       atomic.Int64 // POST /v1/cells envelopes received
+	batchCells       atomic.Int64 // cells delivered inside those envelopes
 }
 
 // failing reports whether the injected outage is active.
@@ -196,8 +203,16 @@ func (tr *testReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		hz := serveproto.Health{OK: true, Apps: 1, Instance: tr.instance}
+		if tr.v1 {
+			hz.Proto = serveproto.ProtoV1
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(serveproto.Health{OK: true, Apps: 1, Instance: tr.instance})
+		json.NewEncoder(w).Encode(hz)
+		return
+	}
+	if r.URL.Path == "/v1/cells" {
+		tr.serveBatch(w, r)
 		return
 	}
 	if tr.conflictBody != "" {
@@ -232,6 +247,55 @@ func (tr *testReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(serveproto.SessionResponse{
 		App: task.App, Task: task.ID, Setting: set.Label, Runs: cell.Runs, Outcomes: outcomes,
 	})
+}
+
+// serveBatch answers POST /v1/cells with the daemon's per-cell semantics:
+// the envelope-level failure injections apply as they do to a single
+// session, and each cell carries its own would-be HTTP status so one bad
+// cell cannot poison its batch-mates.
+func (tr *testReplica) serveBatch(w http.ResponseWriter, r *http.Request) {
+	if !tr.v1 {
+		http.NotFound(w, r)
+		return
+	}
+	if tr.conflictBody != "" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		io.WriteString(w, tr.conflictBody)
+		return
+	}
+	if tr.failing() {
+		tr.failed.Add(1)
+		http.Error(w, "injected replica failure", http.StatusInternalServerError)
+		return
+	}
+	var req serveproto.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr.batchCalls.Add(1)
+	tr.batchCells.Add(int64(len(req.Cells)))
+	resp := serveproto.BatchResponse{Results: make([]serveproto.BatchCellResult, len(req.Cells))}
+	for i, cr := range req.Cells {
+		cell := Cell{App: cr.App, Task: cr.Task, Setting: cr.Setting, Runs: cr.Runs}
+		set, task, err := ResolveCell(cell)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrUnknownCell) {
+				status = http.StatusNotFound
+			}
+			resp.Results[i] = serveproto.BatchCellResult{Status: status, Error: err.Error()}
+			continue
+		}
+		outcomes := RunCell(tr.models, set, task, cell.Runs, 1)
+		tr.served.Add(1)
+		resp.Results[i] = serveproto.BatchCellResult{Status: http.StatusOK, Response: &serveproto.SessionResponse{
+			App: task.App, Task: task.ID, Setting: set.Label, Runs: cell.Runs, Outcomes: outcomes,
+		}}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // startReplicas spins n healthy test replicas plus any custom ones and

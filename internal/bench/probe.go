@@ -76,6 +76,14 @@ func (d *RemoteDispatcher) probe(rep *replica) {
 		}
 		restarted := hz.Instance != "" && rep.instance != "" && hz.Instance != rep.instance
 		rep.instance = hz.Instance
+		// The probe already paid for a health round trip that carries the
+		// protocol generation — refresh the cache, since a replica killed
+		// and restarted may have come back as a different binary.
+		if hz.Proto >= serveproto.ProtoV1 {
+			rep.proto = protoV1
+		} else {
+			rep.proto = protoLegacy
+		}
 		rep.mu.Unlock()
 		if restarted {
 			d.logf("replica %s recovered after %s (new instance %s); back in rotation",

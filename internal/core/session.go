@@ -8,6 +8,7 @@ import (
 	"repro/internal/describe"
 	"repro/internal/forest"
 	"repro/internal/strutil"
+	"repro/internal/uia"
 )
 
 // Options tunes the DMI executor. The Disable* switches exist for the
@@ -56,6 +57,12 @@ type Session struct {
 	// Actions counts primitive UI operations performed through the
 	// session (clicks, keystrokes, pattern calls) for the evaluation.
 	Actions int
+
+	// Navigation scratch, reused across observation rounds. Safe as plain
+	// fields because a Session is single-goroutine (see above); only the
+	// Model is shared.
+	scratchByGID map[string]*uia.Element
+	scratchAnc   []string
 }
 
 // NewSession creates a DMI session.
@@ -64,27 +71,42 @@ func NewSession(app *appkit.App, model *describe.Model, opt Options) *Session {
 	return &Session{App: app, Model: model, Opt: opt}
 }
 
-// CoreTopology renders the default context payload: the depth-limited,
-// large-enumeration-pruned core topology (paper §3.3).
+// CoreTopology returns the default context payload: the depth-limited,
+// large-enumeration-pruned core topology (paper §3.3). The rendering is
+// memoized on the shared model, so this is a field read, not a forest walk.
 func (s *Session) CoreTopology() string {
-	return s.Model.Serialize(describe.CoreOptions())
+	return s.Model.Core()
 }
 
-// FullTopology renders the complete forest.
+// FullTopology returns the complete forest rendering (memoized likewise).
 func (s *Session) FullTopology() string {
-	return s.Model.Serialize(describe.FullOptions())
+	return s.Model.Full()
+}
+
+// gidCut splits a synthesized control identifier into its primary id,
+// control type name, and the raw "a/b/c" ancestor path. Unlike a
+// strings.Split it allocates nothing — it runs once per candidate element
+// inside the fuzzy matcher's scoring loop.
+func gidCut(gid string) (primary, ctype, ancPath string) {
+	i := strings.IndexByte(gid, '|')
+	if i < 0 {
+		return gid, "", ""
+	}
+	primary, gid = gid[:i], gid[i+1:]
+	j := strings.IndexByte(gid, '|')
+	if j < 0 {
+		return primary, gid, ""
+	}
+	return primary, gid[:j], gid[j+1:]
 }
 
 // gidParts splits a synthesized control identifier into its primary id,
 // control type name, and ancestor path components.
 func gidParts(gid string) (primary, ctype string, ancestors []string) {
-	parts := strings.SplitN(gid, "|", 3)
-	primary = parts[0]
-	if len(parts) > 1 {
-		ctype = parts[1]
-	}
-	if len(parts) > 2 && parts[2] != "" {
-		ancestors = strings.Split(parts[2], "/")
+	var ancPath string
+	primary, ctype, ancPath = gidCut(gid)
+	if ancPath != "" {
+		ancestors = strings.Split(ancPath, "/")
 	}
 	return
 }
@@ -93,7 +115,7 @@ func gidParts(gid string) (primary, ctype string, ancestors []string) {
 // combining control type, name similarity, and ancestor overlap — the fuzzy
 // matcher of §3.4.
 func matchScore(step *forest.Node, elPrimary, elName string, elAncestors []string) float64 {
-	primary, _, anc := gidParts(step.GID)
+	primary, _, ancPath := gidCut(step.GID)
 	nameSim := strutil.Similarity(primary, elPrimary)
 	// The name channel only speaks when both sides have a name: two
 	// unnamed controls are not thereby similar, and letting
@@ -104,25 +126,26 @@ func matchScore(step *forest.Node, elPrimary, elName string, elAncestors []strin
 			nameSim = s
 		}
 	}
-	overlap := ancestorOverlap(anc, elAncestors)
+	overlap := ancestorOverlap(ancPath, elAncestors)
 	return 0.7*nameSim + 0.3*overlap
 }
 
-func ancestorOverlap(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	set := make(map[string]bool, len(a))
-	for _, x := range a {
-		set[x] = true
+// ancestorOverlap scores ancestor agreement between a step's raw "a/b/c"
+// ancestor path and a live element's ancestor names:
+// |path ∩ b| / max(|path|, |b|). It works on the undivided path so the
+// scoring loop never materializes the step's components.
+func ancestorOverlap(path string, b []string) float64 {
+	segs := 0
+	if path != "" {
+		segs = 1 + strings.Count(path, "/")
 	}
 	hit := 0
 	for _, y := range b {
-		if set[y] {
+		if pathHasSegment(path, y) {
 			hit++
 		}
 	}
-	max := len(a)
+	max := segs
 	if len(b) > max {
 		max = len(b)
 	}
@@ -130,6 +153,22 @@ func ancestorOverlap(a, b []string) float64 {
 		return 1
 	}
 	return float64(hit) / float64(max)
+}
+
+// pathHasSegment reports whether y equals one "/"-separated segment of path.
+func pathHasSegment(path, y string) bool {
+	for path != "" {
+		seg := path
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			seg, path = path[:i], path[i+1:]
+		} else {
+			path = ""
+		}
+		if seg == y {
+			return true
+		}
+	}
+	return false
 }
 
 // uiCost advances the simulated clock for bookkeeping of non-click

@@ -233,6 +233,45 @@ func (s *Session) PassiveTexts(lm *LabelMap, truncAt int) string {
 	return b.String()
 }
 
+// PromptStats walks the current screen once and returns the labeled-control
+// count plus the passive DataItem payload — the two facts per-call prompt
+// costing needs. The payload is byte-identical to
+// PassiveTexts(CaptureLabels(), truncAt), but nothing beyond the rendered
+// string is materialized: no LabelMap, no label/element maps. The prompt is
+// costed before every LLM call, which made the full capture the executor's
+// top allocation site.
+func (s *Session) PromptStats(truncAt int) (controls int, passive string) {
+	if truncAt <= 0 {
+		truncAt = 24
+	}
+	var b strings.Builder
+	empty := 0
+	for _, e := range s.App.Desk.Snapshot() {
+		if e.Parent() == nil {
+			continue // window roots are not controls
+		}
+		i := controls
+		controls++
+		if e.Type() != uia.DataItemControl {
+			continue
+		}
+		text, ok := contentOf(e)
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(text) == "" {
+			empty++
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s=%s\n",
+			alphaLabel(i), e.Name(), strutil.TruncateChars(text, truncAt))
+	}
+	if empty > 0 {
+		fmt.Fprintf(&b, "(%d empty data items omitted)\n", empty)
+	}
+	return controls, b.String()
+}
+
 // resolveLabel maps a screen label to its element with structured errors.
 func (s *Session) resolveLabel(lm *LabelMap, label string) (*uia.Element, *StepError) {
 	if lm == nil {

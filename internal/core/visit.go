@@ -302,9 +302,17 @@ func (s *Session) navigate(steps []*forest.Node, nodeID int) (*uia.Element, int,
 }
 
 // deepestVisible returns the largest step index resolvable in the snapshot,
-// with exact identifier matching first and fuzzy matching as fallback.
+// with exact identifier matching first and fuzzy matching as fallback. The
+// index map is session scratch: navigate calls this every observation round,
+// so the map is cleared and refilled rather than reallocated.
 func (s *Session) deepestVisible(steps []*forest.Node, snap []*uia.Element) (int, *uia.Element) {
-	byGID := make(map[string]*uia.Element, len(snap))
+	byGID := s.scratchByGID
+	if byGID == nil {
+		byGID = make(map[string]*uia.Element, len(snap))
+		s.scratchByGID = byGID
+	} else {
+		clear(byGID)
+	}
 	for _, e := range snap {
 		if e.Parent() == nil {
 			continue
@@ -339,11 +347,12 @@ func (s *Session) fuzzyFind(step *forest.Node, snap []*uia.Element) *uia.Element
 	}
 	var best *uia.Element
 	bestScore := s.Opt.FuzzyThreshold
+	anc := s.scratchAnc
 	for _, e := range snap {
 		if e.Parent() == nil || e.Type() != step.Type {
 			continue
 		}
-		var anc []string
+		anc = anc[:0] // per-element scratch: matchScore only reads it
 		for cur := e.Parent(); cur != nil && cur.Parent() != nil; cur = cur.Parent() {
 			anc = append(anc, primaryOf(cur))
 		}
@@ -353,6 +362,7 @@ func (s *Session) fuzzyFind(step *forest.Node, snap []*uia.Element) *uia.Element
 			best = e
 		}
 	}
+	s.scratchAnc = anc
 	return best
 }
 

@@ -31,6 +31,14 @@ type Model struct {
 	treeOf map[*forest.Node]string
 	// refsTo lists reference nodes pointing at each shared subtree.
 	refsTo map[string][]*forest.Node
+
+	// coreText and fullText are the two standard renderings, memoized at
+	// construction: the model is frozen once built (concurrent sessions
+	// share it read-only), and the executor re-reads both on every prompt
+	// and further_query, so rendering them once here removes the whole
+	// serialization walk from the per-session hot path.
+	coreText string
+	fullText string
 }
 
 // NewModel assigns consecutive integer ids across the main tree (first) and
@@ -60,8 +68,18 @@ func NewModel(f *forest.Forest) *Model {
 	for _, id := range f.SharedOrder {
 		assign(f.Shared[id], id)
 	}
+	m.coreText = m.Serialize(CoreOptions())
+	m.fullText = m.Serialize(FullOptions())
 	return m
 }
+
+// Core returns the memoized core-topology rendering — identical to
+// Serialize(CoreOptions()) but free after construction.
+func (m *Model) Core() string { return m.coreText }
+
+// Full returns the memoized complete rendering — identical to
+// Serialize(FullOptions()) but free after construction.
+func (m *Model) Full() string { return m.fullText }
 
 // Node returns the forest node for an integer id, or nil.
 func (m *Model) Node(id int) *forest.Node { return m.byID[id] }

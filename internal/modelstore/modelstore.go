@@ -8,9 +8,13 @@
 //
 //   - Concurrency-safe singleflight: N concurrent Model calls for the same
 //     key trigger exactly one offline build; the rest block and share it.
-//   - Versioned JSON snapshots: a persistent store writes the ripped graph
-//     to disk and later runs rebuild the model from the snapshot with zero
-//     rip clicks (transform + identify are cheap; ripping is not).
+//   - Versioned snapshots: a persistent store writes the ripped graph to
+//     disk and later runs rebuild the model from the snapshot with zero
+//     rip clicks (transform + identify are cheap; ripping is not). The
+//     default encoding is the compact binary codec (ung.EncodeBinary);
+//     FormatJSON keeps the greppable JSON form as a debug option. Loading
+//     sniffs the format, so a directory of older JSON snapshots keeps
+//     working after the default switched.
 //   - Deterministic results: the build uses the parallel ripper, which is
 //     byte-identical to the sequential one, so cached, snapshotted, and
 //     fresh builds all yield the same identifier assignment.
@@ -37,6 +41,56 @@ import (
 // SnapshotVersion is bumped whenever the snapshot encoding or the pipeline
 // semantics change; stale snapshots are ignored and rebuilt.
 const SnapshotVersion = 1
+
+// SnapshotFormat selects the on-disk snapshot encoding. The zero value is
+// the compact binary codec — per-model budget cost is the encoded size, so
+// the smaller codec multiplies the effective warm-cache budget. FormatJSON
+// keeps the greppable form for debugging. The format governs what a store
+// *writes* and what it accounts as cost; loading always sniffs, so either
+// store reads either format's files.
+type SnapshotFormat int
+
+const (
+	// FormatBinary writes ung.EncodeBinary snapshots (.ungb).
+	FormatBinary SnapshotFormat = iota
+	// FormatJSON writes ung.Encode snapshots (.json), the debug format.
+	FormatJSON
+)
+
+// ParseSnapshotFormat maps the -snapshot-format flag values to a format.
+func ParseSnapshotFormat(s string) (SnapshotFormat, error) {
+	switch s {
+	case "binary":
+		return FormatBinary, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return 0, fmt.Errorf("modelstore: unknown snapshot format %q (want binary or json)", s)
+}
+
+// String returns the flag spelling of the format.
+func (f SnapshotFormat) String() string {
+	if f == FormatJSON {
+		return "json"
+	}
+	return "binary"
+}
+
+// ext is the snapshot file extension for the format.
+func (f SnapshotFormat) ext() string {
+	if f == FormatJSON {
+		return ".json"
+	}
+	return ".ungb"
+}
+
+// encode serializes a graph in the format.
+func (f SnapshotFormat) encode(g *ung.Graph) ([]byte, error) {
+	if f == FormatJSON {
+		return ung.Encode(g)
+	}
+	return ung.EncodeBinary(g)
+}
 
 // Options configures one offline build. Workers selects the rip worker pool
 // size and never affects the result, so it is excluded from the fingerprint.
@@ -119,7 +173,8 @@ type Stats struct {
 // Store memoizes offline builds. The zero value is not usable; construct
 // with New, NewPersistent, or NewBudgeted.
 type Store struct {
-	dir string // "" = in-memory only
+	dir    string         // "" = in-memory only
+	format SnapshotFormat // encoding for writes and cost accounting
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -146,12 +201,29 @@ type entry struct {
 // New creates an in-memory store.
 func New() *Store { return &Store{entries: make(map[string]*entry)} }
 
-// NewPersistent creates a store that additionally saves and reuses JSON
-// graph snapshots under dir (created on first save).
+// NewPersistent creates a store that additionally saves and reuses graph
+// snapshots under dir (created on first save), written in the store's
+// snapshot format (binary unless SetSnapshotFormat says otherwise).
 func NewPersistent(dir string) *Store {
 	s := New()
 	s.dir = dir
 	return s
+}
+
+// SetSnapshotFormat selects the encoding for snapshot writes and budget
+// cost accounting. Call before the first Build; existing files in the other
+// format still load (the loader sniffs), they are just no longer written.
+func (s *Store) SetSnapshotFormat(f SnapshotFormat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.format = f
+}
+
+// SnapshotFormat reports the store's write/accounting format.
+func (s *Store) SnapshotFormat() SnapshotFormat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.format
 }
 
 // NewBudgeted creates a store whose warm entries hold at most budget bytes
@@ -336,14 +408,14 @@ func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Buil
 	}
 	b.TransformStats = ts
 	b.Model = describe.NewModel(f)
-	b.CoreTokens = describe.Tokens(b.Model.Serialize(describe.CoreOptions()))
-	b.FullTokens = describe.Tokens(b.Model.Serialize(describe.FullOptions()))
+	b.CoreTokens = describe.Tokens(b.Model.Core())
+	b.FullTokens = describe.Tokens(b.Model.Full())
 
 	if !b.FromSnapshot {
-		// Encode once: the encoding is the entry's budget cost, the
-		// resident-bytes accounting, and, for persistent stores, the
-		// snapshot payload.
-		data, err := ung.Encode(b.Graph)
+		// Encode once in the active format: the encoding is the entry's
+		// budget cost, the resident-bytes accounting, and, for persistent
+		// stores, the snapshot payload.
+		data, err := s.SnapshotFormat().encode(b.Graph)
 		switch {
 		case err != nil:
 			b.SnapshotBytes = -1 // cost unknown; a budget refuses to cache this
@@ -362,9 +434,10 @@ func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Buil
 	return b, nil
 }
 
-// snapshotPath keeps one file per fingerprint; the fingerprint's separators
-// are flattened into a safe file name.
-func (s *Store) snapshotPath(key string) string {
+// snapshotPath keeps one file per fingerprint and format; the fingerprint's
+// separators are flattened into a safe file name and the extension is the
+// format's (.ungb or .json).
+func (s *Store) snapshotPath(key string, f SnapshotFormat) string {
 	safe := make([]rune, 0, len(key))
 	for _, r := range key {
 		switch r {
@@ -374,29 +447,42 @@ func (s *Store) snapshotPath(key string) string {
 			safe = append(safe, r)
 		}
 	}
-	return filepath.Join(s.dir, string(safe)+".json")
+	return filepath.Join(s.dir, string(safe)+f.ext())
 }
 
+// loadSnapshot reads the snapshot for key, preferring the active format's
+// file but falling back to the other format's — a directory written before
+// the binary default switched keeps its zero-rip-click reloads. Decoding
+// sniffs the payload (ung.DecodeAny), so even a misnamed file loads. The
+// reported size is the loaded payload's, whichever format it was in.
 func (s *Store) loadSnapshot(key string) (*ung.Graph, int64, bool) {
 	if s.dir == "" {
 		return nil, 0, false
 	}
-	data, err := os.ReadFile(s.snapshotPath(key))
-	if err != nil {
-		return nil, 0, false
+	active := s.SnapshotFormat()
+	other := FormatJSON
+	if active == FormatJSON {
+		other = FormatBinary
 	}
-	g, err := ung.Decode(data)
-	if err != nil {
-		return nil, 0, false // corrupt or stale snapshot: rebuild from scratch
+	for _, f := range [2]SnapshotFormat{active, other} {
+		data, err := os.ReadFile(s.snapshotPath(key, f))
+		if err != nil {
+			continue
+		}
+		g, err := ung.DecodeAny(data)
+		if err != nil {
+			continue // corrupt or stale snapshot: try the other, else rebuild
+		}
+		return g, int64(len(data)), true
 	}
-	return g, int64(len(data)), true
+	return nil, 0, false
 }
 
 func (s *Store) writeSnapshot(key string, data []byte) error {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
-	path := s.snapshotPath(key)
+	path := s.snapshotPath(key, s.SnapshotFormat())
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err

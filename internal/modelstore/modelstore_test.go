@@ -230,6 +230,106 @@ func TestCorruptSnapshotRebuilds(t *testing.T) {
 	}
 }
 
+// TestSnapshotBinaryDefault pins the format switch's payoff: a persistent
+// store writes compact binary snapshots (.ungb) by default, and the build's
+// budget cost is the binary size — strictly smaller than the JSON form, so
+// the same byte budget holds more warm models.
+func TestSnapshotBinaryDefault(t *testing.T) {
+	dir := t.TempDir()
+	s := NewPersistent(dir)
+	b, err := s.Build("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("snapshot not written: %v %d", err, len(files))
+	}
+	if filepath.Ext(files[0].Name()) != ".ungb" {
+		t.Errorf("default snapshot %q is not binary", files[0].Name())
+	}
+	jsonData, err := ung.Encode(b.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SnapshotBytes >= int64(len(jsonData)) {
+		t.Errorf("binary cost %d not smaller than JSON %d", b.SnapshotBytes, len(jsonData))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, files[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != b.SnapshotBytes {
+		t.Errorf("budget cost %d does not match the snapshot payload %d", b.SnapshotBytes, len(data))
+	}
+}
+
+// TestSnapshotFormatJSON: the debug format writes greppable .json files and
+// accounts cost at the JSON size.
+func TestSnapshotFormatJSON(t *testing.T) {
+	dir := t.TempDir()
+	s := NewPersistent(dir)
+	s.SetSnapshotFormat(FormatJSON)
+	b, err := s.Build("StoreDemo", storeApp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("snapshot not written: %v %d", err, len(files))
+	}
+	if filepath.Ext(files[0].Name()) != ".json" {
+		t.Errorf("JSON-format snapshot %q is not .json", files[0].Name())
+	}
+	jsonData, err := ung.Encode(b.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SnapshotBytes != int64(len(jsonData)) {
+		t.Errorf("JSON-format cost %d, want the JSON size %d", b.SnapshotBytes, len(jsonData))
+	}
+}
+
+// TestLegacyJSONSnapshotLoads: a directory written before the binary default
+// switched (JSON files only) still gives zero-rip-click reloads — the loader
+// falls back to the other format's file and sniffs the payload.
+func TestLegacyJSONSnapshotLoads(t *testing.T) {
+	dir := t.TempDir()
+	legacy := NewPersistent(dir)
+	legacy.SetSnapshotFormat(FormatJSON)
+	if _, err := legacy.Build("StoreDemo", storeApp, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewPersistent(dir) // binary default
+	var calls atomic.Int32
+	b, err := s.Build("StoreDemo", func() *appkit.App {
+		calls.Add(1)
+		return storeApp()
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.FromSnapshot || b.RipStats.Clicks != 0 || calls.Load() != 0 {
+		t.Fatalf("legacy JSON snapshot not reused: %+v (%d factory calls)", b, calls.Load())
+	}
+}
+
+func TestParseSnapshotFormat(t *testing.T) {
+	for in, want := range map[string]SnapshotFormat{"binary": FormatBinary, "json": FormatJSON} {
+		got, err := ParseSnapshotFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSnapshotFormat(%q) = %v, %v", in, got, err)
+		}
+		if got.String() != in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), in)
+		}
+	}
+	if _, err := ParseSnapshotFormat("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
 // TestSnapshotSaveFailureKeepsBuild: persistence failing must not discard a
 // completed build — the model is returned and cached, with the save error
 // recorded for callers that asked for persistence.

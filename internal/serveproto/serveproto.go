@@ -32,6 +32,39 @@ const MaxRuns = 100
 // short strings; daemons refuse to buffer more and answer 413.
 const MaxRequestBytes = 1 << 16
 
+// ProtoV1 is the current wire protocol generation, reported in
+// Health.Proto. Generation 1 is the versioned /v1/* route set with the
+// batch endpoint; a replica that omits the field (zero) speaks only the
+// legacy unversioned routes.
+const ProtoV1 = 1
+
+// MaxBatchCells bounds one POST /v1/cells request. A batch is a transport
+// optimization, not a work queue: a coordinator coalesces at most a few
+// dozen cells per call, and the cap keeps a single request from pinning a
+// replica's worker pool for an unbounded stretch.
+const MaxBatchCells = 64
+
+// BatchRequestBytes is the body cap for a POST /v1/cells declaring n cells:
+// the per-session cap scaled by the declared batch size (clamped to
+// [1, MaxBatchCells]). Scaling by the declared size instead of capping flat
+// is what lets a full batch of maximum-size cell requests through while
+// still bounding what a replica will buffer. Clients declare n in the
+// BatchSizeHeader; a missing or malformed declaration gets the single-cell
+// cap.
+func BatchRequestBytes(n int) int64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxBatchCells {
+		n = MaxBatchCells
+	}
+	return int64(n) * MaxRequestBytes
+}
+
+// BatchSizeHeader declares a batch request's cell count ahead of the body,
+// so the daemon can size its MaxBytesReader before reading a byte.
+const BatchSizeHeader = "Dmi-Batch-Cells"
+
 // SessionRequest selects one grid cell. App is optional; when set it must
 // match the task's application (a cheap cross-check that the caller and the
 // replica agree on the catalog). Pack and PackHash optionally name the task
@@ -77,6 +110,56 @@ type RawSessionResponse struct {
 	Outcomes json.RawMessage `json:"outcomes"`
 }
 
+// BatchRequest is POST /v1/cells: up to MaxBatchCells session requests in
+// one HTTP call, amortizing per-call overhead at high cell rates. The pack
+// handshake stays request-level (one Pack/PackHash pair for the whole
+// batch) because a coordinator never mixes packs within a run; a mismatch
+// rejects the batch with 409 exactly like a single session.
+type BatchRequest struct {
+	Pack     string           `json:"pack,omitempty"`
+	PackHash string           `json:"pack_hash,omitempty"`
+	Cells    []SessionRequest `json:"cells"`
+}
+
+// BatchCellResult is one cell's outcome within a batch response. Cells fail
+// independently: Status carries the HTTP status the cell would have gotten
+// as a single POST /session (200, 400, 404, ...), with Error naming the
+// rejection, so one bad cell does not poison its batch-mates.
+type BatchCellResult struct {
+	Status   int              `json:"status"`
+	Error    string           `json:"error,omitempty"`
+	Response *SessionResponse `json:"response,omitempty"`
+}
+
+// BatchResponse answers POST /v1/cells with one result per requested cell,
+// in request order. Pack and PackHash identify the pack the replica served
+// the batch from.
+type BatchResponse struct {
+	Pack     string            `json:"pack,omitempty"`
+	PackHash string            `json:"pack_hash,omitempty"`
+	Results  []BatchCellResult `json:"results"`
+}
+
+// RawBatchResponse is BatchResponse with the results left as raw bytes, for
+// byte-equivalence tests over the batch surface. It must mirror
+// BatchResponse field for field (asserted by TestRawBatchResponseMirror and
+// the wiredrift analyzer's raw-mirror check).
+type RawBatchResponse struct {
+	Pack     string          `json:"pack,omitempty"`
+	PackHash string          `json:"pack_hash,omitempty"`
+	Results  json.RawMessage `json:"results"`
+}
+
+// RawBatchCellResult is BatchCellResult with the response left as raw
+// bytes, the second hop of a batch byte-equivalence decode (RawBatchResponse
+// holds the result array, this holds one cell's response). Mirror-pinned to
+// BatchCellResult like the other raw views.
+type RawBatchCellResult struct {
+	Status   int             `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
 // PackMismatch is the body of a 409 session rejection: the replica is
 // healthy but serves a different task pack than the request names. Want is
 // the requester's pack, Have is the replica's.
@@ -104,8 +187,12 @@ type StatsResponse struct {
 // can refuse to start a run against mismatched replicas before dispatching
 // anything.
 type Health struct {
-	OK       bool   `json:"ok"`
-	Apps     int    `json:"apps"`
+	OK   bool `json:"ok"`
+	Apps int  `json:"apps"`
+	// Proto is the wire protocol generation (ProtoV1 for the /v1 route
+	// set). Zero means a pre-versioning replica that answers only the
+	// legacy unversioned routes.
+	Proto    int    `json:"proto,omitempty"`
 	Pack     string `json:"pack,omitempty"`
 	PackHash string `json:"pack_hash,omitempty"`
 	// Instance identifies this daemon process (a random id drawn at

@@ -5,20 +5,36 @@ package strutil
 
 import (
 	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
+
+// levScratch carries the DP rows and decoded-rune buffers one Levenshtein
+// call needs. The fuzzy control matcher scores every on-screen candidate
+// per observation round, so these four slices were the dominant allocation
+// of the matching path; pooling amortizes them across calls and sessions.
+type levScratch struct {
+	prev, cur []int
+	ra, rb    []rune
+}
+
+var levPool = sync.Pool{New: func() any { return new(levScratch) }}
 
 // Levenshtein returns the edit distance between a and b.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	sc := levPool.Get().(*levScratch)
+	defer levPool.Put(sc)
+	ra, rb := appendRunes(sc.ra[:0], a), appendRunes(sc.rb[:0], b)
+	sc.ra, sc.rb = ra, rb
 	if len(ra) == 0 {
 		return len(rb)
 	}
 	if len(rb) == 0 {
 		return len(ra)
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev, cur := growInts(sc.prev, len(rb)+1), growInts(sc.cur, len(rb)+1)
+	sc.prev, sc.cur = prev, cur
 	for j := range prev {
 		prev[j] = j
 	}
@@ -34,6 +50,20 @@ func Levenshtein(a, b string) int {
 		prev, cur = cur, prev
 	}
 	return prev[len(rb)]
+}
+
+func appendRunes(buf []rune, s string) []rune {
+	for _, r := range s {
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 func min3(a, b, c int) int {
@@ -54,7 +84,7 @@ func Similarity(a, b string) float64 {
 	if na == nb {
 		return 1
 	}
-	la, lb := len([]rune(na)), len([]rune(nb))
+	la, lb := utf8.RuneCountInString(na), utf8.RuneCountInString(nb)
 	max := la
 	if lb > max {
 		max = lb

@@ -1,0 +1,220 @@
+package ung
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, _ := ripDemo(t)
+	data, err := EncodeBinary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, g, back)
+}
+
+// TestBinaryJSONEquivalence proves binary⇄JSON⇄graph identity: the two
+// codecs decode to identical graphs, and converting either way reproduces
+// the other encoding byte for byte. This is the contract that lets the
+// modelstore switch its default format while older JSON snapshots keep
+// loading.
+func TestBinaryJSONEquivalence(t *testing.T) {
+	g, _ := ripDemo(t)
+	jsonData, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binData, err := EncodeBinary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Decode(jsonData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinary(binData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, fromJSON, fromBin)
+
+	// JSON → graph → binary reproduces the binary bytes, and vice versa.
+	binAgain, err := EncodeBinary(fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(binAgain, binData) {
+		t.Error("JSON→graph→binary did not reproduce the binary encoding")
+	}
+	jsonAgain, err := Encode(fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonAgain, jsonData) {
+		t.Error("binary→graph→JSON did not reproduce the JSON encoding")
+	}
+}
+
+// TestBinarySmallerThanJSON pins the codec's reason to exist: the binary
+// snapshot must be at least 30% smaller than the JSON one (the modelstore
+// budget multiplier the switch buys). The demo graph is representative —
+// short ids, sparse descriptions — so if this ratio regresses, real
+// catalogs regress too.
+func TestBinarySmallerThanJSON(t *testing.T) {
+	g, _ := ripDemo(t)
+	jsonData, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binData, err := EncodeBinary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := len(jsonData) * 7 / 10; len(binData) > limit {
+		t.Errorf("binary snapshot is %d bytes, want ≤ 70%% of the %d-byte JSON form (%d)",
+			len(binData), len(jsonData), limit)
+	}
+}
+
+func TestBinaryDecodeFailureModes(t *testing.T) {
+	g, _ := ripDemo(t)
+	valid, err := EncodeBinary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong magic", func(t *testing.T) {
+		bad := append([]byte("NOPE"), valid[4:]...)
+		if _, err := DecodeBinary(bad); err == nil {
+			t.Error("wrong magic accepted")
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		skewed := append([]byte(binaryMagic), binary.AppendUvarint(nil, BinaryVersion+1)...)
+		skewed = append(skewed, valid[len(binaryMagic)+1:]...)
+		_, err := DecodeBinary(skewed)
+		if err == nil {
+			t.Fatal("version skew accepted")
+		}
+		if want := "snapshot version"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("version-skew error %q does not name the version", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		// Every proper prefix must be rejected: the length-prefixed layout
+		// leaves no valid graph hiding inside a shorter buffer.
+		for n := 0; n < len(valid); n++ {
+			if _, err := DecodeBinary(valid[:n]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes accepted", n, len(valid))
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		noisy := append(append([]byte{}, valid...), 0x00)
+		_, err := DecodeBinary(noisy)
+		if err == nil {
+			t.Fatal("trailing garbage accepted")
+		}
+		if want := "trailing"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("trailing-garbage error %q does not say so", err)
+		}
+	})
+	t.Run("unknown flags", func(t *testing.T) {
+		// Flip an unknown flag bit in the root node's flags byte. The root
+		// is the first node: magic, version, app, count, id, name, type,
+		// desc, then flags.
+		r := binReader{data: valid, off: len(binaryMagic)}
+		for _, field := range []string{"version", "app", "count", "id", "name", "type", "desc"} {
+			switch field {
+			case "app", "id", "name", "desc":
+				if _, err := r.str(field); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if _, err := r.uvarint(field); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		bad := append([]byte{}, valid...)
+		bad[r.off] |= 0x80
+		if _, err := DecodeBinary(bad); err == nil {
+			t.Error("unknown flag bit accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeBinary(nil); err == nil {
+			t.Error("empty payload accepted")
+		}
+	})
+}
+
+func TestDecodeAnySniffsBothFormats(t *testing.T) {
+	g, _ := ripDemo(t)
+	jsonData, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binData, err := EncodeBinary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := DecodeAny(jsonData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeAny(binData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, fromJSON, fromBin)
+}
+
+// FuzzSnapshotBinaryDecode hardens the binary codec the same way FuzzDecode
+// hardens the JSON one: DecodeBinary must never panic on corrupt input, and
+// anything it accepts must be structurally valid and survive a binary round
+// trip unchanged. The committed corpus under
+// testdata/fuzz/FuzzSnapshotBinaryDecode is replayed by plain `go test`.
+func FuzzSnapshotBinaryDecode(f *testing.F) {
+	app := demoApp()
+	g, _, err := Rip(app, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := EncodeBinary(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                                       // truncated mid-node
+	f.Add(append(append([]byte{}, valid...), 0xff))                                                   // trailing garbage
+	f.Add([]byte(binaryMagic))                                                                        // magic only
+	f.Add([]byte("UNGB\x02"))                                                                         // version skew
+	f.Add(append([]byte("UNGB\x01\x00"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)) // absurd node count
+	f.Add([]byte(`{"app":"x","nodes":[]}`))                                                           // JSON fed to the binary decoder
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeBinary(data)
+		if err != nil {
+			return // rejected: exactly what corrupt snapshots should get
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("DecodeBinary accepted an invalid graph: %v", err)
+		}
+		again, err := EncodeBinary(decoded)
+		if err != nil {
+			t.Fatalf("re-encode of accepted graph failed: %v", err)
+		}
+		back, err := DecodeBinary(again)
+		if err != nil {
+			t.Fatalf("decode of re-encoded graph failed: %v", err)
+		}
+		assertGraphsIdentical(t, decoded, back)
+	})
+}
