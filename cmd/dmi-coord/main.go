@@ -252,9 +252,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	stats := scrapeStats(ctx, rd.Live(), stderr)
 	tokens := map[string]int{}
 	var agg modelstore.Stats
+	var expansions int64
 	for _, st := range stats {
 		agg.Hits += st.Store.Hits
 		agg.Misses += st.Store.Misses
+		expansions += st.Expansions
 		if len(tokens) == 0 {
 			tokens = st.CoreTokens
 		}
@@ -277,6 +279,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	// Coordination telemetry.
 	fmt.Fprintf(stderr, "dmi-coord: %d cells in %.2fs (%.1f cells/s), %d re-dispatches, aggregate warm-hit ratio %.3f\n",
 		len(cells), elapsed.Seconds(), float64(len(cells))/elapsed.Seconds(), rd.Retries(), warmHit)
+	if expansions > 0 {
+		// Replicas that also served distributed-rip traffic (dmi-model
+		// -replicas) carry the frame ledger in their stats; surface it so an
+		// operator can see rip work sharing the fleet with cell serving.
+		fmt.Fprintf(stderr, "dmi-coord: replicas additionally expanded %d rip frames\n", expansions)
+	}
 	writeReplicaLines(stderr, rd)
 
 	if *jsonOut != "" {

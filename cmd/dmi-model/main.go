@@ -9,26 +9,58 @@
 // clicks — compact binary by default, -snapshot-format json for the
 // greppable debug form (either format loads either way).
 //
+// -replicas shards the rip across a fleet of dmi-serve replicas instead of
+// the in-process pool: each frame expansion ships over POST /v1/rip and the
+// coordinator merges the results into the same byte-identical graph (see
+// ung.RipDispatched and bench.RemoteExpander). A replica that dies mid-rip
+// is down-marked and its frames re-dispatched, so the run survives failures
+// without changing a byte of the output.
+//
+// -json writes a machine-readable modeling baseline (per-app rip wall-clock
+// and click counts) for CI perf tracking; -cpuprofile/-memprofile write
+// runtime/pprof profiles of the whole run (the heap profile is taken after
+// a final GC, so it shows retained memory, not transient garbage).
+//
 // Usage:
 //
 //	dmi-model [-app Word|Excel|PowerPoint|Settings|Files|all] [-threshold 64]
 //	          [-sweep] [-workers 4] [-snapshot DIR] [-snapshot-format binary|json]
+//	          [-replicas URL,URL,...] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/agent"
+	"repro/internal/bench"
 	"repro/internal/describe"
 	"repro/internal/forest"
 	"repro/internal/modelstore"
+	"repro/internal/serveproto"
+	"repro/internal/ung"
 )
+
+// ripBatch is the frame-coalescing factor for distributed rips: enough to
+// amortize the HTTP round trip over a useful chunk of the DFS stack without
+// letting one envelope pin a replica for long.
+const ripBatch = 8
+
+// replicaWait bounds how long -replicas waits for every replica's /healthz
+// to report ready before the run starts. A variable so tests can shorten
+// the not-ready path.
+var replicaWait = 60 * time.Second
 
 // errUsage marks a flag-parse failure the FlagSet has already reported to
 // stderr; main must not print it again.
@@ -56,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 4, "rip worker-pool size (1 = sequential)")
 	snapshot := fs.String("snapshot", "", "directory for graph snapshots (reused across runs)")
 	snapshotFormat := fs.String("snapshot-format", "binary", "snapshot encoding: binary (compact default) or json (debug)")
+	replicas := fs.String("replicas", "", "comma-separated dmi-serve base URLs to shard the rip across (empty = in-process pool)")
+	jsonOut := fs.String("json", "", "write a machine-readable modeling baseline (per-app rip wall-clock) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage was printed, not an error
@@ -66,6 +102,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return errUsage
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("dmi-model: cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("dmi-model: cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	names := agent.AppNames()
@@ -83,7 +130,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Transform: forest.Options{CloneThreshold: *threshold},
 		Workers:   *workers,
 	}
+	var fleet []string
+	if *replicas != "" {
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				fleet = append(fleet, u)
+			}
+		}
+		if len(fleet) == 0 {
+			fmt.Fprintln(stderr, "dmi-model: -replicas names no URLs")
+			return errUsage
+		}
+		if err := waitReplicas(fleet, stderr); err != nil {
+			return fmt.Errorf("dmi-model: %w", err)
+		}
+		opt.NewExpander = func(app string) (ung.Expander, error) {
+			return bench.NewRemoteExpander(fleet, app, bench.RemoteOptions{
+				Batch: ripBatch,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(stderr, "dmi-model: "+format+"\n", args...)
+				},
+			})
+		}
+	}
 
+	var records []ripRecord
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\tnodes\tedges\tdepth\tmerges\tback-edges\tnaive-tree\tforest\tshared\tcore-controls\tcore-tokens\tmodel-time\tblocklist\tsource")
 	for _, name := range names {
@@ -91,10 +162,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown app %q", name)
 		}
+		wallStart := time.Now()
 		b, err := store.Build(name, build, opt)
 		if err != nil {
 			return fmt.Errorf("modeling failed: %w", err)
 		}
+		wall := time.Since(wallStart)
 		if b.SnapshotErr != nil {
 			fmt.Fprintln(stderr, "warning: model built but not persisted:", b.SnapshotErr)
 		}
@@ -106,10 +179,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		modelTime := b.RipStats.SimulatedTime.Round(1e9).String()
 		source := fmt.Sprintf("rip(%d workers)", b.RipStats.Workers)
+		if len(fleet) > 0 {
+			source = fmt.Sprintf("rip(%d replicas)", len(fleet))
+		}
 		if b.FromSnapshot {
 			modelTime = "0s"
 			source = "snapshot"
 		}
+		records = append(records, ripRecord{
+			App:         name,
+			Replicas:    len(fleet),
+			Workers:     b.RipStats.Workers,
+			Nodes:       g.NodeCount(),
+			Edges:       g.EdgeCount(),
+			Clicks:      b.RipStats.Clicks,
+			SimSeconds:  b.RipStats.SimulatedTime.Seconds(),
+			WallSeconds: wall.Seconds(),
+			Source:      source,
+		})
 		// The blocklist is app metadata, not part of the graph, so it is
 		// read off a fresh instance (construction only, never ripped).
 		blocklist := build().BlocklistSize()
@@ -141,5 +228,93 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout, "\nFigure 4: the naive full-clone tree explodes with merge-heavy graphs while")
 	fmt.Fprintln(stdout, "the forest stays linear; see the naive-tree vs forest columns above and the")
 	fmt.Fprintln(stdout, "synthetic diamond-chain benchmark (BenchmarkFig4_TopologyTransform).")
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(struct {
+			Records []ripRecord `json:"records"`
+		}{records}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("dmi-model: json: %w", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("dmi-model: json: %w", err)
+		}
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			return fmt.Errorf("dmi-model: memprofile: %w", err)
+		}
+	}
 	return nil
+}
+
+// ripRecord is one application's share of the -json modeling baseline: the
+// rip's size, click cost, simulated time, and real wall-clock — what CI
+// composes into BENCH_rip.json to compare 1-replica vs N-replica runs.
+type ripRecord struct {
+	App         string  `json:"app"`
+	Replicas    int     `json:"replicas"`
+	Workers     int     `json:"workers"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Clicks      int     `json:"clicks"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Source      string  `json:"source"`
+}
+
+// waitReplicas polls every replica's /healthz until it reports ready and
+// speaking the /v1 protocol generation, so a rip never starts against a
+// fleet that is still prewarming (or one that would 404 every envelope).
+func waitReplicas(urls []string, stderr io.Writer) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(replicaWait)
+	for _, u := range urls {
+		for {
+			hz, err := probeReplica(client, u)
+			if err == nil {
+				if hz.Proto < serveproto.ProtoV1 {
+					return fmt.Errorf("replica %s speaks protocol %d; distributed rip needs the /v1 route set", u, hz.Proto)
+				}
+				fmt.Fprintf(stderr, "dmi-model: replica %s ready (%d apps)\n", u, hz.Apps)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s not ready after %s: %w", u, replicaWait, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// probeReplica runs one /healthz round trip.
+func probeReplica(client *http.Client, base string) (serveproto.Health, error) {
+	var hz serveproto.Health
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return hz, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hz, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return hz, fmt.Errorf("healthz body: %w", err)
+	}
+	if !hz.OK {
+		return hz, errors.New("replica reports not ready")
+	}
+	return hz, nil
+}
+
+// writeHeapProfile snapshots retained memory after a final GC.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

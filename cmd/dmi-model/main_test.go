@@ -2,10 +2,21 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appkit"
+	"repro/internal/serveproto"
+	"repro/internal/ung"
 )
 
 func TestUnknownAppIsAnError(t *testing.T) {
@@ -110,5 +121,157 @@ func TestHelpFlagIsNotAnError(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "Usage") {
 		t.Errorf("usage text missing from stderr:\n%s", errb.String())
+	}
+}
+
+// ripServer is a minimal rip replica for the -replicas tests: /healthz
+// reports ready on the v1 protocol and /v1/rip expands frames on real app
+// instances — the same ung.ExpandFrame path the dmi-serve daemon runs.
+type ripServer struct {
+	mu    sync.Mutex
+	insts map[string]*appkit.App
+}
+
+func (rs *ripServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serveproto.Health{OK: true, Apps: len(agent.AppNames()), Proto: serveproto.ProtoV1})
+		return
+	}
+	if r.URL.Path != "/v1/rip" || r.Method != http.MethodPost {
+		http.NotFound(w, r)
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	req, err := serveproto.ParseRipRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.insts == nil {
+		rs.insts = make(map[string]*appkit.App)
+	}
+	inst := rs.insts[req.App]
+	if inst == nil {
+		factory, ok := agent.Factories()[req.App]
+		if !ok {
+			http.Error(w, "unknown app", http.StatusNotFound)
+			return
+		}
+		inst = factory()
+		rs.insts[req.App] = inst
+	}
+	resp := serveproto.RipResponse{App: req.App, Context: req.Context}
+	for _, f := range req.Frames {
+		exp := serveproto.FromExpansion(ung.ExpandFrame(inst, req.Context, ung.Frame{ID: f.ID, Path: f.Path}))
+		resp.Results = append(resp.Results, serveproto.RipResult{Status: http.StatusOK, Expansion: &exp})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// TestReplicasShardedSnapshotMatchesSequential models the same app through
+// the in-process pool and through -replicas sharding, persisting both
+// snapshots, and requires the files to be byte-identical — the CLI-level
+// half of the distributed-rip determinism contract.
+func TestReplicasShardedSnapshotMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	srv := httptest.NewServer(&ripServer{})
+	defer srv.Close()
+
+	seqDir, shardDir := t.TempDir(), t.TempDir()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-app", "Settings", "-workers", "1", "-snapshot", seqDir}, &out, &errb); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-app", "Settings", "-replicas", srv.URL, "-snapshot", shardDir}, &out, &errb); err != nil {
+		t.Fatalf("sharded run: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "rip(1 replicas)") {
+		t.Errorf("sharded run should report its source:\n%s", out.String())
+	}
+
+	seqFiles, err := os.ReadDir(seqDir)
+	if err != nil || len(seqFiles) != 1 {
+		t.Fatalf("sequential snapshot dir: %v (%d files)", err, len(seqFiles))
+	}
+	shardFiles, err := os.ReadDir(shardDir)
+	if err != nil || len(shardFiles) != 1 {
+		t.Fatalf("sharded snapshot dir: %v (%d files)", err, len(shardFiles))
+	}
+	if seqFiles[0].Name() != shardFiles[0].Name() {
+		t.Fatalf("snapshot names differ: %q vs %q", seqFiles[0].Name(), shardFiles[0].Name())
+	}
+	a, err := os.ReadFile(filepath.Join(seqDir, seqFiles[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(shardDir, shardFiles[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sharded snapshot is not byte-identical to sequential: %d vs %d bytes", len(b), len(a))
+	}
+}
+
+// TestReplicasNotReadyIsAnError pins the fleet wait: a replica that never
+// reports healthy fails the run with an error naming it, instead of ripping
+// against a dead fleet.
+func TestReplicasNotReadyIsAnError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "prewarming", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	old := replicaWait
+	replicaWait = 300 * time.Millisecond
+	defer func() { replicaWait = old }()
+	var out, errb bytes.Buffer
+	err := run([]string{"-app", "Settings", "-replicas", srv.URL}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("expected a not-ready error, got %v", err)
+	}
+}
+
+// TestModelProfileAndJSONFlags: -cpuprofile/-memprofile produce non-empty
+// pprof files and -json writes the modeling baseline record.
+func TestModelProfileAndJSONFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app-scale rip")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	baseline := filepath.Join(dir, "rip.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-app", "Settings", "-cpuprofile", cpu, "-memprofile", mem, "-json", baseline}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (%v)", p, err)
+		}
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Records []ripRecord `json:"records"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("baseline does not parse: %v\n%s", err, data)
+	}
+	if len(doc.Records) != 1 || doc.Records[0].App != "Settings" {
+		t.Fatalf("unexpected baseline records: %+v", doc.Records)
+	}
+	rec := doc.Records[0]
+	if rec.Nodes == 0 || rec.Clicks == 0 || rec.WallSeconds <= 0 {
+		t.Errorf("baseline record looks empty: %+v", rec)
 	}
 }

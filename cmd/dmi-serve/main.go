@@ -23,6 +23,8 @@
 //
 //	POST /v1/session  {"app","task","setting","runs"[,"pack","pack_hash"]} → the cell's outcomes
 //	POST /v1/cells    {"cells":[...]} → per-cell results, one HTTP call for a whole batch
+//	POST /v1/rip      {"app","context","frames":[...]} → per-frame differential captures,
+//	                  the worker half of a distributed rip (coordinator: dmi-model -replicas)
 //	GET  /v1/stats    store counters (hits, misses, snapshot loads, evictions,
 //	                  resident bytes) plus serving totals and warm-hit ratio
 //	GET  /v1/healthz  readiness (the catalog prewarm completed) + served pack identity
@@ -222,11 +224,13 @@ type server struct {
 	parallel   int
 	instance   string         // random per-process id, reported on /healthz
 	coreTokens map[string]int // catalog token accounting, for /stats
+	rip        *ripPool       // warm instances for POST /v1/rip
 
-	mu       sync.Mutex
-	sessions int64 // POST /session requests served
-	runs     int64 // outcomes returned across those requests
-	inFlight int64 // POST /session requests currently executing
+	mu         sync.Mutex
+	sessions   int64 // POST /session requests served
+	runs       int64 // outcomes returned across those requests
+	inFlight   int64 // POST /session requests currently executing
+	expansions int64 // frames expanded for POST /v1/rip
 }
 
 // newServer builds the daemon and pre-warms the whole catalog through the
@@ -263,13 +267,15 @@ func newBareServer(store *modelstore.Store, reg *taskpack.Registry, ripWorkers, 
 		parallel:   parallel,
 		instance:   newInstanceID(),
 		coreTokens: make(map[string]int),
+		rip:        newRipPool(),
 	}
 	mux := http.NewServeMux()
 	// Protocol v1 routes plus the pre-v1 unversioned aliases (kept for one
-	// release so mixed fleets upgrade replica-by-replica). /v1/cells is the
-	// batch endpoint and is v1-only — it never existed unversioned.
+	// release so mixed fleets upgrade replica-by-replica). /v1/cells and
+	// /v1/rip are v1-only — they never existed unversioned.
 	mux.HandleFunc("/v1/session", s.handleSession)
 	mux.HandleFunc("/v1/cells", s.handleBatch)
+	mux.HandleFunc("/v1/rip", s.handleRip)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/session", s.handleSession)
@@ -457,12 +463,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.store.Stats()
 	s.mu.Lock()
-	sessions, runs, inFlight := s.sessions, s.runs, s.inFlight
+	sessions, runs, inFlight, expansions := s.sessions, s.runs, s.inFlight, s.expansions
 	s.mu.Unlock()
 	writeJSON(w, serveproto.StatsResponse{
 		Sessions:     sessions,
 		Runs:         runs,
 		InFlight:     inFlight,
+		Expansions:   expansions,
 		Store:        st,
 		WarmHitRatio: serveproto.HitRatio(st),
 		BudgetBytes:  s.store.Budget(),

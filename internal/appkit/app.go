@@ -260,8 +260,33 @@ func (a *App) SoftReset() {
 		a.ExitContext(name)
 	}
 	a.ActivateTabByName(a.defaultTab)
+	a.collapseExpandables()
 	for _, fn := range a.onSoftReset {
 		fn(a)
+	}
+}
+
+// collapseExpandables returns every ExpandCollapse control (combo dropdowns
+// and kin) to the collapsed state. Dropdown panes are not popups, so
+// CloseAllPopups leaves their toggles alone; if that state survived
+// SoftReset, an expansion's differential capture would depend on the
+// instance's click-parity history, breaking the Expander contract that any
+// instance anywhere yields the same result for (context, path, control) —
+// and with it, distributed rip byte-identity and safe re-dispatch.
+func (a *App) collapseExpandables() {
+	collapse := func(root *uia.Element) {
+		root.Walk(func(e *uia.Element) bool {
+			if x, ok := e.Pattern(uia.ExpandCollapsePattern).(uia.ExpandCollapser); ok {
+				if x.ExpandState(e) == uia.Expanded {
+					_ = x.Collapse(e)
+				}
+			}
+			return true
+		})
+	}
+	collapse(a.Win)
+	for _, p := range a.popupTemplates {
+		collapse(p.Win)
 	}
 }
 

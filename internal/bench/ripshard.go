@@ -1,0 +1,400 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serveproto"
+	"repro/internal/ung"
+)
+
+// maxRipSenders caps the RemoteExpander's sender pool. The natural pool size
+// is the fleet's dispatch capacity (replicas × in-flight cap) — more senders
+// than that can only queue on slots — and the cap keeps a huge fleet from
+// spawning goroutines the coordinator's LIFO consumption can't use.
+const maxRipSenders = 32
+
+// RemoteExpander shards a rip's frame expansions across N dmi-serve
+// replicas over POST /v1/rip — the ung.Expander seam implemented on the
+// dispatcher's fleet machinery. Each envelope picks the least-loaded live
+// replica (equal-load ties rotate round-robin), bounded by the per-replica
+// in-flight cap. A transport error, a 5xx, or a malformed response marks
+// the replica down — handing it to the same half-open /healthz prober the
+// cell dispatcher uses — and the envelope's frames are re-dispatched to
+// another replica. Re-dispatch is safe because an expansion is idempotent
+// by construction: it is a function of (app, context, click path) on a
+// soft-reset instance, so a frame that died with its replica mid-expansion
+// produces the same differential capture anywhere else. A 4xx or a pack
+// mismatch is the request's fault, not the replica's: it is delivered as a
+// final per-frame error without marking anything down.
+//
+// The expander pops stacked frames most-recent-first and coalesces up to
+// the configured batch of same-context frames per envelope — the LIFO
+// discipline means the frames a coordinator will wait on soonest are the
+// ones in flight, so all speculative work stays useful work.
+type RemoteExpander struct {
+	d     *RemoteDispatcher
+	app   string
+	batch int
+
+	stack *ripStack
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	clicks    int
+	snapshots int
+	//dmi:orderinvariant per-replica totals; Close takes an order-free max
+	sim map[string]time.Duration
+
+	closeOnce sync.Once
+	stats     ung.ExpanderStats
+}
+
+// NewRemoteExpander validates the replica list and builds an expander for
+// one application's rip. opt is interpreted exactly as for
+// NewRemoteDispatcher, except that Batch coalesces rip frames per envelope
+// (clamped to serveproto.MaxRipFrames, default 1) and the cell-batch
+// collector is never started — rip envelopes have their own coalescing.
+func NewRemoteExpander(baseURLs []string, app string, opt RemoteOptions) (*RemoteExpander, error) {
+	if app == "" {
+		return nil, errors.New("bench: remote expander needs an app name")
+	}
+	batch := opt.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > serveproto.MaxRipFrames {
+		batch = serveproto.MaxRipFrames
+	}
+	opt.Batch = 0 // rip coalescing replaces the cell collector
+	d, err := NewRemoteDispatcher(baseURLs, opt)
+	if err != nil {
+		return nil, err
+	}
+	re := &RemoteExpander{
+		d:     d,
+		app:   app,
+		batch: batch,
+		stack: newRipStack(),
+		sim:   make(map[string]time.Duration),
+	}
+	senders := len(baseURLs) * d.inflight
+	if senders > maxRipSenders {
+		senders = maxRipSenders
+	}
+	re.wg.Add(senders)
+	for i := 0; i < senders; i++ {
+		go re.sender()
+	}
+	re.stats.Workers = senders
+	return re, nil
+}
+
+// Expand queues the frame for the fleet and returns its result channel.
+// After Close the result is an immediate error (the coordinator only does
+// this on an abort path it is already failing out of).
+func (re *RemoteExpander) Expand(ctx string, f ung.Frame) <-chan ung.ExpandResult {
+	it := &ripItem{ctx: ctx, f: f, done: make(chan ung.ExpandResult, 1)}
+	if !re.stack.push(it) {
+		it.done <- ung.ExpandResult{Err: errors.New("bench: remote expander closed")}
+	}
+	return it.done
+}
+
+// Close drains the expander: undispatched frames are dropped (their
+// buffered result channels are garbage collected — no goroutine or channel
+// leaks on an aborted rip), in-flight envelopes run to completion and their
+// clicks are counted, the fleet's probers stop, and the lifetime stats are
+// totaled. Idempotent.
+func (re *RemoteExpander) Close() ung.ExpanderStats {
+	re.closeOnce.Do(func() {
+		re.stack.close()
+		re.wg.Wait()
+		re.d.Close()
+		re.mu.Lock()
+		re.stats.Clicks = re.clicks
+		re.stats.Snapshots = re.snapshots
+		// The wall-clock analog of a sharded rip is the busiest single
+		// replica's accumulated simulated time.
+		//dmi:orderinvariant max over per-replica totals is order-free
+		for _, total := range re.sim {
+			if total > re.stats.Longest {
+				re.stats.Longest = total
+			}
+		}
+		re.mu.Unlock()
+	})
+	return re.stats
+}
+
+// Stats snapshots every replica's share of the sharded rip (the Cells
+// counter counts expanded frames here).
+func (re *RemoteExpander) Stats() []ReplicaStats { return re.d.Stats() }
+
+// Retries reports how many envelope attempts failed at a replica and sent
+// their frames back through replica selection.
+func (re *RemoteExpander) Retries() int { return re.d.Retries() }
+
+// AddReplica joins a replica to the fleet mid-rip; see membership.go.
+func (re *RemoteExpander) AddReplica(baseURL string) error { return re.d.AddReplica(baseURL) }
+
+// RemoveReplica retires a replica mid-rip; see membership.go.
+func (re *RemoteExpander) RemoveReplica(baseURL string) error { return re.d.RemoveReplica(baseURL) }
+
+// sender is one dispatch worker: pop the most recent same-context frames,
+// ship them as one envelope, deliver the results. Exits when the stack is
+// closed and drained.
+func (re *RemoteExpander) sender() {
+	defer re.wg.Done()
+	for {
+		items := re.stack.popBatch(re.batch)
+		if items == nil {
+			return
+		}
+		re.deliver(items)
+	}
+}
+
+// deliver runs one envelope's retry loop: pick a live replica, post, and on
+// replica failure re-dispatch the whole envelope until a replica answers or
+// none are left. Mirrors dispatchSingle's loop with the envelope as the
+// retry unit — every frame in it is idempotent, so re-sending frames whose
+// first attempt may or may not have executed is safe.
+func (re *RemoteExpander) deliver(items []*ripItem) {
+	tried := make(map[*replica]bool)
+	var failures []error
+	for {
+		rep := re.d.pick(tried)
+		if rep == nil {
+			err := errors.New("no live replicas")
+			if n := len(failures); n > 0 {
+				re.d.mu.Lock()
+				re.d.retries += n
+				re.d.mu.Unlock()
+				err = fmt.Errorf("all replicas failed: %w", errors.Join(failures...))
+			}
+			for _, it := range items {
+				it.done <- ung.ExpandResult{Err: err}
+			}
+			return
+		}
+		rep.slot <- struct{}{}
+		// Another dispatch may have down-marked (or a reload removed) this
+		// replica while we waited for a slot; skip it without a request,
+		// accounted like the cell path's slot-wait skips.
+		rep.mu.Lock()
+		skip := rep.down || rep.removed
+		if skip {
+			rep.skips++
+		}
+		rep.mu.Unlock()
+		if skip {
+			<-rep.slot
+			continue
+		}
+		results, err := re.postRip(rep, items)
+		<-rep.slot
+		if err == nil {
+			rep.mu.Lock()
+			rep.cells += len(items)
+			rep.mu.Unlock()
+			if len(failures) > 0 {
+				re.d.mu.Lock()
+				re.d.retries += len(failures)
+				re.d.mu.Unlock()
+			}
+			var clicks, snapshots int
+			var sim time.Duration
+			for i, it := range items {
+				if results[i].Err == nil {
+					clicks += results[i].Expansion.Clicks
+					snapshots += results[i].Expansion.Snapshots
+					sim += results[i].Expansion.Elapsed
+				}
+				it.done <- results[i]
+			}
+			re.mu.Lock()
+			re.clicks += clicks
+			re.snapshots += snapshots
+			re.sim[rep.base] += sim
+			re.mu.Unlock()
+			return
+		}
+		var mismatch *PackMismatchError
+		var bad *requestError
+		if errors.As(err, &mismatch) || errors.As(err, &bad) {
+			// The envelope (or the run's pack handshake) is at fault; every
+			// replica would reject it identically. Final, no down-mark.
+			for _, it := range items {
+				it.done <- ung.ExpandResult{Err: err}
+			}
+			return
+		}
+		// Failure detection: stop picking this replica, hand it to the
+		// half-open prober, and re-dispatch the envelope elsewhere.
+		re.d.markDown(rep, err)
+		tried[rep] = true
+		failures = append(failures, fmt.Errorf("%s: %w", rep.base, err))
+	}
+}
+
+// postRip runs one POST /v1/rip round trip and validates the response
+// against the envelope contract: one result per frame, in order, each
+// either a decodable expansion or a final per-frame rejection. An error
+// return means the replica failed the envelope (transport, 5xx, malformed
+// body, per-frame 5xx) and the whole envelope should be re-dispatched.
+func (re *RemoteExpander) postRip(rep *replica, items []*ripItem) ([]ung.ExpandResult, error) {
+	frames := make([]serveproto.RipFrame, len(items))
+	for i, it := range items {
+		frames[i] = serveproto.RipFrame{ID: it.f.ID, Path: it.f.Path}
+	}
+	body, err := json.Marshal(serveproto.RipRequest{
+		Pack: re.d.pack, PackHash: re.d.packHash,
+		App: re.app, Context: items[0].ctx, Frames: frames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, rep.base+"/v1/rip", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serveproto.RipBatchHeader, fmt.Sprint(len(frames)))
+	resp, err := re.d.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		// Same verdict rule as the cell path: only a well-formed PackMismatch
+		// is the replica's considered answer; anything else reads as a
+		// replica failure.
+		var pm serveproto.PackMismatch
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1024)).Decode(&pm); err == nil &&
+			(pm.HavePack != "" || pm.HaveHash != "") {
+			return nil, &PackMismatchError{
+				Replica:  rep.base,
+				WantPack: pm.WantPack, WantHash: pm.WantHash,
+				HavePack: pm.HavePack, HaveHash: pm.HaveHash,
+			}
+		}
+		return nil, errors.New("status 409 with malformed pack-mismatch body")
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		msg := fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &requestError{msg: msg}
+		}
+		return nil, errors.New(msg)
+	}
+	var rr serveproto.RipResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("malformed response: %w", err)
+	}
+	if len(rr.Results) != len(frames) {
+		return nil, fmt.Errorf("response carries %d results for %d frames", len(rr.Results), len(frames))
+	}
+	out := make([]ung.ExpandResult, len(frames))
+	for i, res := range rr.Results {
+		switch {
+		case res.Status == http.StatusOK && res.Expansion != nil:
+			exp, err := res.Expansion.Expansion()
+			if err != nil {
+				// Protocol skew inside an otherwise well-formed response:
+				// treat the envelope as a replica failure, like any other
+				// malformed body.
+				return nil, err
+			}
+			out[i] = ung.ExpandResult{Expansion: exp}
+		case res.Status >= 400 && res.Status < 500:
+			// The frame itself was rejected; every replica would agree.
+			out[i] = ung.ExpandResult{Err: &requestError{msg: fmt.Sprintf("frame %q: status %d: %s",
+				frames[i].ID, res.Status, res.Error)}}
+		default:
+			return nil, fmt.Errorf("frame %q: status %d: %s", frames[i].ID, res.Status, res.Error)
+		}
+	}
+	return out, nil
+}
+
+// ripItem is one frame expansion parked on the expander's stack.
+type ripItem struct {
+	ctx  string
+	f    ung.Frame
+	done chan ung.ExpandResult // buffered: senders never block on the coordinator
+}
+
+// ripStack is the expander's LIFO work queue — the same discipline as the
+// in-process pool's jobQueue: the coordinator consumes results in stack
+// order, so the most recently pushed frames are the ones it will wait on
+// soonest, and those are what senders should ship first.
+type ripStack struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*ripItem
+	closed bool
+}
+
+func newRipStack() *ripStack {
+	s := &ripStack{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push parks an item; it reports false (and parks nothing) on a closed
+// stack.
+func (s *ripStack) push(it *ripItem) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.items = append(s.items, it)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return true
+}
+
+// popBatch blocks until work is available, then returns up to max items
+// from the top of the stack that share one context (an envelope addresses
+// exactly one app context). Returns nil when the stack is closed and
+// drained.
+func (s *ripStack) popBatch(max int) []*ripItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.items) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.items) == 0 {
+		return nil
+	}
+	top := s.items[len(s.items)-1]
+	batch := []*ripItem{top}
+	s.items = s.items[:len(s.items)-1]
+	for len(batch) < max && len(s.items) > 0 && s.items[len(s.items)-1].ctx == top.ctx {
+		batch = append(batch, s.items[len(s.items)-1])
+		s.items = s.items[:len(s.items)-1]
+	}
+	return batch
+}
+
+// close wakes every sender and drops undispatched items (relevant when the
+// coordinator aborts on the node limit — the dropped items' buffered result
+// channels are simply garbage collected).
+func (s *ripStack) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.items = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -98,6 +98,15 @@ type Options struct {
 	Rip       ung.Config
 	Transform forest.Options
 	Workers   int
+	// NewExpander, when set, supplies the expansion engine for a rip — e.g.
+	// a bench.RemoteExpander sharding frame expansions across serving
+	// replicas — and the build runs ung.RipDispatched with it instead of the
+	// in-process pool (Workers is then ignored). The expander seam is
+	// byte-identical to the sequential rip by contract, so, like Workers,
+	// the hook never affects the result and is excluded from the
+	// fingerprint. Called once per cache miss; the store closes the expander
+	// via RipDispatched.
+	NewExpander func(app string) (ung.Expander, error)
 }
 
 // Fingerprint canonically identifies a build configuration for an
@@ -381,8 +390,9 @@ func (s *Store) Invalidate(app string, opt Options) {
 	}
 }
 
-// build runs the pipeline: snapshot load if available, else rip (parallel
-// when opt.Workers > 1), then transform + identify, then snapshot save.
+// build runs the pipeline: snapshot load if available, else rip (dispatched
+// to opt.NewExpander's engine when set, else parallel when opt.Workers > 1),
+// then transform + identify, then snapshot save.
 func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Build, error) {
 	var b Build
 
@@ -394,6 +404,15 @@ func (s *Store) build(app string, factory func() *appkit.App, opt Options) (Buil
 		s.mu.Lock()
 		s.stats.SnapshotLoads++
 		s.mu.Unlock()
+	} else if opt.NewExpander != nil {
+		ex, err := opt.NewExpander(app)
+		if err != nil {
+			return Build{}, fmt.Errorf("modelstore: rip %s: %w", app, err)
+		}
+		b.Graph, b.RipStats, err = ung.RipDispatched(factory(), opt.Rip, ex)
+		if err != nil {
+			return Build{}, fmt.Errorf("modelstore: rip %s: %w", app, err)
+		}
 	} else {
 		var err error
 		b.Graph, b.RipStats, err = ung.RipParallel(factory, opt.Rip, opt.Workers)

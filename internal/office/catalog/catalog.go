@@ -6,7 +6,10 @@
 // must prune (paper §3.3).
 package catalog
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // FontFamilies is the base list of font family names.
 var FontFamilies = []string{
@@ -209,6 +212,21 @@ func ExcelFunctions() map[string][]string {
 			"ROUNDDOWN", "ROUNDUP", "SIGN", "SIN", "SINH", "SQRT", "SUBTOTAL",
 			"SUM", "SUMIF", "SUMIFS", "SUMPRODUCT", "TAN", "TANH", "TRUNC"},
 	}
+}
+
+// ExcelFunctionCategories returns the function-library category names in
+// sorted order. UI builders must iterate categories through this list, never
+// by ranging the ExcelFunctions map directly: map iteration order varies per
+// instance, and two App instances whose ribbons disagree on child order can
+// never rip to byte-identical graphs.
+func ExcelFunctionCategories() []string {
+	fns := ExcelFunctions()
+	cats := make([]string, 0, len(fns))
+	for cat := range fns {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	return cats
 }
 
 // NumberFormats is the Excel number-format dropdown.

@@ -485,8 +485,9 @@ func (x *App) buildFormulas() {
 			"Compatibility", "Web"}, nil)
 	fnList := ifp.List("lstAllFunctions", "Select a function")
 	fnList.El.MarkLargeEnum()
-	for _, fns := range catalog.ExcelFunctions() {
-		for _, fn := range fns {
+	allFns := catalog.ExcelFunctions()
+	for _, cat := range catalog.ExcelFunctionCategories() {
+		for _, fn := range allFns[cat] {
 			fn := fn
 			fnList.ListItem("", fn, func(*appkit.App) {
 				x.Sheet.SetValue(x.Sheet.ActiveCell, "="+fn+"()")
@@ -496,7 +497,8 @@ func (x *App) buildFormulas() {
 	insFn.AddOKCancel(nil)
 	lib.DialogButton("btnInsertFunction", "Insert Function", insFn, nil)
 
-	for cat, fns := range catalog.ExcelFunctions() {
+	for _, cat := range catalog.ExcelFunctionCategories() {
+		fns := allFns[cat]
 		catID := "mnuFn" + strings.ReplaceAll(strings.ReplaceAll(cat, " ", ""), "&", "")
 		m := x.NewMenu(catID, cat)
 		mb := m.Panel()

@@ -1,0 +1,62 @@
+package serveproto
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRipRequestDecode hardens the distributed rip's input boundary:
+// ParseRipRequest must never panic on hostile bodies, anything it accepts
+// must satisfy the envelope invariants it promises the handler (non-empty
+// app, 1..MaxRipFrames frames), and an accepted request must be a marshal
+// fixed point — re-encoding and re-parsing yields the same bytes, so no
+// information is invented or lost crossing the boundary. The committed
+// corpus under testdata/fuzz/FuzzRipRequestDecode is replayed by plain
+// `go test`; the nightly fuzz job explores beyond it.
+func FuzzRipRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"app":"Word","frames":[{"id":"btn.bold"}]}`))
+	f.Add([]byte(`{"app":"Word","context":"review","frames":[{"id":"menu.insert.table","path":["menu.insert"]}]}`))
+	f.Add([]byte(`{"pack":"osworld-w","pack_hash":"abc","app":"Files","frames":[{"id":"x"},{"id":"y","path":["a","b","c"]}]}`))
+	f.Add([]byte(`{"app":"Word","frames":[]}`))               // empty frames: rejected
+	f.Add([]byte(`{"frames":[{"id":"x"}]}`))                  // missing app: rejected
+	f.Add([]byte(`{"app":"Word","frames":[{"path":["a"]}]}`)) // frame missing id: envelope ok, frame invalid
+	f.Add([]byte(`{"app":"Word","frames":[{"id":""}],"extra":0}`))
+	f.Add([]byte(`{"app":`))      // truncated
+	f.Add([]byte(`[1,2,3]`))      // wrong shape
+	f.Add([]byte(`null`))         // null body
+	f.Add([]byte("\x00\x01\x02")) // binary garbage
+	f.Add([]byte(`{"app":"W","frames":[{"id":"x","path":null}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRipRequest(data)
+		if err != nil {
+			return // rejected: exactly what hostile bodies should get
+		}
+		if req.App == "" {
+			t.Fatal("accepted request with empty app")
+		}
+		if len(req.Frames) == 0 || len(req.Frames) > MaxRipFrames {
+			t.Fatalf("accepted request with %d frames", len(req.Frames))
+		}
+		// ValidateRipFrame must not panic on any accepted frame shape.
+		for _, fr := range req.Frames {
+			_ = ValidateRipFrame(fr)
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode of accepted request failed: %v", err)
+		}
+		again, err := ParseRipRequest(out)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded request failed: %v", err)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("rip request is not a marshal fixed point:\n first %s\nsecond %s", out, out2)
+		}
+	})
+}

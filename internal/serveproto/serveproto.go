@@ -173,9 +173,13 @@ type PackMismatch struct {
 // StatsResponse is GET /stats: serving totals plus the model store's
 // warm-serving counters.
 type StatsResponse struct {
-	Sessions     int64            `json:"sessions"`
-	Runs         int64            `json:"runs"`
-	InFlight     int64            `json:"in_flight"`
+	Sessions int64 `json:"sessions"`
+	Runs     int64 `json:"runs"`
+	InFlight int64 `json:"in_flight"`
+	// Expansions counts frames expanded for POST /v1/rip — the replica-side
+	// ledger of distributed-rip work (omitted when the replica has done
+	// none, which keeps pre-rip consumers byte-stable).
+	Expansions   int64            `json:"expansions,omitempty"`
 	Store        modelstore.Stats `json:"store"`
 	WarmHitRatio float64          `json:"warm_hit_ratio"`
 	BudgetBytes  int64            `json:"budget_bytes"`

@@ -75,6 +75,27 @@ func (g *Graph) Ensure(id string, e *uia.Element, context string) *Node {
 	return n
 }
 
+// ensureReveal is Ensure for a serialized reveal: the node fields were
+// captured on the instance that computed the expansion (possibly another
+// process), so no element pointer is needed and the resulting node is
+// byte-identical to one Ensure would build from the live element.
+func (g *Graph) ensureReveal(r Reveal, context string) *Node {
+	if n, ok := g.Nodes[r.ID]; ok {
+		return n
+	}
+	n := &Node{
+		ID:        r.ID,
+		Name:      r.Name,
+		Type:      r.Type,
+		Desc:      r.Desc,
+		LargeEnum: r.LargeEnum,
+		Context:   context,
+	}
+	g.Nodes[r.ID] = n
+	g.Order = append(g.Order, r.ID)
+	return n
+}
+
 // AddEdge inserts the edge from → to once; duplicates are ignored.
 func (g *Graph) AddEdge(from, to string) {
 	f, ok := g.Nodes[from]

@@ -2,89 +2,70 @@ package ung
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"repro/internal/appkit"
 )
 
-// RipParallel builds the UNG with a pool of worker goroutines, each driving
-// its own throwaway application instance built by factory. It produces a
-// graph byte-identical to Rip(factory(), cfg) — same nodes, same discovery
-// order, same edge insertion order — at a fraction of the wall-clock cost.
+// RipDispatched builds the UNG with expansions delegated to an Expander —
+// an in-process pool (LocalExpander), a fleet of serving replicas
+// (bench.RemoteExpander), or anything else satisfying the seam. It produces
+// a graph byte-identical to Rip(probe, cfg) — same nodes, same discovery
+// order, same edge insertion order — regardless of where or in what order
+// expansions actually execute.
 //
 // The design separates the two halves of the sequential algorithm:
 //
 //   - Expansion (restore, replay the click path, click, differential
 //     capture) touches only an application instance. It is a deterministic
-//     function of (context, path, control), so any worker instance yields
-//     the same result as the coordinator would.
+//     function of (context, path, control), so any instance anywhere yields
+//     the same result the coordinator's own would — including after a
+//     retry, which is what makes remote re-dispatch safe.
 //   - Application (ensure nodes, add edges, push newly discovered frames)
 //     touches the shared graph. The coordinator performs it alone, popping
 //     frames in exactly the sequential DFS order, so the merged graph is
-//     deterministic regardless of worker timing.
+//     deterministic regardless of expansion timing.
 //
-// Every frame pushed on the coordinator's stack is dispatched to the pool
-// immediately; the coordinator consumes results in LIFO stack order. All
-// speculative work is useful work — each stacked frame is consumed exactly
-// once — so on success the total click count matches the sequential rip.
-// On the node-limit abort path, expansions already in flight on workers run
-// to completion and their clicks are still counted: error-path Stats report
-// the work actually performed, which can exceed a sequential abort's.
+// Every frame pushed on the coordinator's stack is dispatched to the
+// expander immediately; the coordinator consumes results in LIFO stack
+// order. All speculative work is useful work — each stacked frame is
+// consumed exactly once — so on success the total click count matches the
+// sequential rip. On the node-limit abort path, expansions already in
+// flight run to completion and their clicks are still counted: error-path
+// Stats report the work actually performed, which can exceed a sequential
+// abort's.
 //
-// workers <= 1 degrades to the sequential Rip on a single fresh instance.
-func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, Stats, error) {
-	if workers <= 1 {
-		return Rip(factory(), cfg)
-	}
+// The probe instance serves the coordinator alone: application metadata and
+// the per-context initial-screen captures. The expander never touches it.
+// RipDispatched always closes the expander before returning.
+func RipDispatched(probe *appkit.App, cfg Config, ex Expander) (*Graph, Stats, error) {
 	cfg.fill()
-
-	// The probe instance serves the coordinator: application metadata and
-	// the per-context initial-screen captures. Workers never touch it.
-	probe := factory()
 	g := NewGraph(probe.Name)
 	var st Stats
-	st.Workers = workers
 	start := probe.Desk.Clock().Now()
 
-	q := newJobQueue()
-	wstats := make([]Stats, workers)
-	welapsed := make([]time.Duration, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			app := factory()
-			t0 := app.Desk.Clock().Now()
-			for {
-				j, ok := q.pop()
-				if !ok {
-					break
-				}
-				j.done <- expand(app, j.ctx, j.f, &wstats[i])
-			}
-			welapsed[i] = app.Desk.Clock().Now() - t0
-		}(i)
-	}
 	fold := func() {
-		q.close()
-		wg.Wait()
+		es := ex.Close()
+		st.Clicks += es.Clicks
+		st.Snapshots += es.Snapshots
+		st.Workers = es.Workers
 		longest := probe.Desk.Clock().Now() - start
-		for i := range wstats {
-			st.Clicks += wstats[i].Clicks
-			st.Snapshots += wstats[i].Snapshots
-			if welapsed[i] > longest {
-				longest = welapsed[i]
-			}
+		if es.Longest > longest {
+			longest = es.Longest
 		}
 		st.SimulatedTime = longest
 		st.Nodes = g.NodeCount()
 		st.Edges = g.EdgeCount()
 	}
 
+	// pending mirrors the sequential DFS stack. Clickable frames carry the
+	// expander's result channel; the rest resolve on the coordinator.
+	type pending struct {
+		f   Frame
+		res <-chan ExpandResult
+	}
+
 	queued := make(map[string]bool)
-	var stack []*ripJob
+	var stack []pending
 	ctx := ""
 
 	push := func(id string, path []string) {
@@ -92,13 +73,13 @@ func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, S
 			return
 		}
 		queued[id] = true
-		j := &ripJob{ctx: ctx, f: frame{id: id, path: path}, done: make(chan expansion, 1)}
-		stack = append(stack, j)
+		p := pending{f: Frame{ID: id, Path: path}}
 		// Non-clickable frames need no instance work; dispatching them
-		// would only burn a worker on a guaranteed skip.
+		// would only burn expander capacity on a guaranteed skip.
 		if n := g.Nodes[id]; n != nil && clickable(n.Type) {
-			q.push(j)
+			p.res = ex.Expand(ctx, p.f)
 		}
+		stack = append(stack, p)
 	}
 
 	contexts := ripContexts(probe)
@@ -113,10 +94,10 @@ func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, S
 				fold()
 				return g, st, fmt.Errorf("ung: node limit %d exceeded", cfg.MaxNodes)
 			}
-			j := stack[len(stack)-1]
+			p := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 
-			node := g.Nodes[j.f.id]
+			node := g.Nodes[p.f.ID]
 			if node == nil {
 				continue
 			}
@@ -124,8 +105,12 @@ func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, S
 				st.Skipped++
 				continue
 			}
-			exp := <-j.done
-			applyExpansion(g, cfg, ctx, j.f, exp, &st, push)
+			r := <-p.res
+			if r.Err != nil {
+				fold()
+				return g, st, fmt.Errorf("ung: expand %q: %w", p.f.ID, r.Err)
+			}
+			applyExpansion(g, cfg, ctx, p.f, r.Expansion, &st, push)
 		}
 	}
 
@@ -134,57 +119,15 @@ func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, S
 	return g, st, nil
 }
 
-// ripJob is one frame expansion dispatched to the worker pool.
-type ripJob struct {
-	ctx  string
-	f    frame
-	done chan expansion // buffered: workers never block on the coordinator
-}
-
-// jobQueue is a LIFO work queue. LIFO matters: the coordinator consumes
-// results in stack order, so the most recently pushed job is the one it will
-// wait on soonest.
-type jobQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	jobs   []*ripJob
-	closed bool
-}
-
-func newJobQueue() *jobQueue {
-	q := &jobQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *jobQueue) push(j *ripJob) {
-	q.mu.Lock()
-	q.jobs = append(q.jobs, j)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// pop blocks until a job is available or the queue is closed.
-func (q *jobQueue) pop() (*ripJob, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.jobs) == 0 && !q.closed {
-		q.cond.Wait()
+// RipParallel builds the UNG with a pool of worker goroutines, each driving
+// its own throwaway application instance built by factory. It produces a
+// graph byte-identical to Rip(factory(), cfg) at a fraction of the
+// wall-clock cost; see RipDispatched for the coordinator/worker contract.
+//
+// workers <= 1 degrades to the sequential Rip on a single fresh instance.
+func RipParallel(factory func() *appkit.App, cfg Config, workers int) (*Graph, Stats, error) {
+	if workers <= 1 {
+		return Rip(factory(), cfg)
 	}
-	if len(q.jobs) == 0 {
-		return nil, false
-	}
-	j := q.jobs[len(q.jobs)-1]
-	q.jobs = q.jobs[:len(q.jobs)-1]
-	return j, true
-}
-
-// close wakes every worker and drops undispatched jobs (relevant only when
-// the coordinator aborts on the node limit).
-func (q *jobQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.jobs = nil
-	q.mu.Unlock()
-	q.cond.Broadcast()
+	return RipDispatched(factory(), cfg, NewLocalExpander(factory, workers))
 }

@@ -53,57 +53,86 @@ type Stats struct {
 	SimulatedTime time.Duration
 }
 
-// frame is one pending exploration: activate the control after replaying the
-// click path that made it visible.
-type frame struct {
-	id   string
-	path []string
+// Frame is one pending exploration: activate the control after replaying the
+// click path that made it visible. Everything in it is a string, so a frame
+// crosses process boundaries as-is — it is the job unit the Expander seam
+// dispatches, and the body of the serving daemon's POST /v1/rip.
+type Frame struct {
+	ID   string
+	Path []string
 }
 
-// expandOutcome classifies one frame activation.
-type expandOutcome int
+// ExpandOutcome classifies one frame activation.
+type ExpandOutcome int
 
 const (
-	expandOK expandOutcome = iota
-	expandSkipped
-	expandBlocked
+	ExpandOK ExpandOutcome = iota
+	ExpandSkipped
+	ExpandBlocked
 )
 
-// reveal is one control newly revealed by an activation together with the id
-// of the node it attaches beneath (its nearest newly-revealed UI ancestor,
-// or the clicked control for top-level reveals).
-type reveal struct {
-	el     *uia.Element
-	parent string
+// Reveal is one control newly revealed by an activation, captured in full:
+// the node metadata the graph needs plus the id of the node it attaches
+// beneath (its nearest newly-revealed UI ancestor, or the clicked control
+// for top-level reveals). A reveal carries no element pointer, so an
+// expansion computed on another instance — or another machine — folds into
+// the coordinator's graph exactly as a local one would.
+type Reveal struct {
+	ID        string
+	Name      string
+	Type      uia.ControlType
+	Desc      string
+	LargeEnum bool
+	Parent    string
 }
 
-// expansion is the result of activating one frame's control on an
-// application instance: the newly revealed controls in snapshot order.
-type expansion struct {
-	outcome expandOutcome
-	reveals []reveal
+// Expansion is the result of activating one frame's control on an
+// application instance: the newly revealed controls in snapshot order, plus
+// the instance work the activation cost (for Stats accounting — the clicks
+// and snapshots spent restoring, replaying, and differencing). Elapsed is
+// the instance's simulated-clock cost, the per-machine wall-clock analog.
+type Expansion struct {
+	Outcome   ExpandOutcome
+	Reveals   []Reveal
+	Clicks    int
+	Snapshots int
+	Elapsed   time.Duration
 }
 
-// expand re-establishes the frame's discovery state on the given application
-// instance (soft reset + click-path replay), activates the control, and
-// differences the before/after snapshots. It touches only the instance and
-// the local stats, never the shared graph, so it is safe to run on a pool of
-// throwaway instances concurrently.
-func expand(app *appkit.App, ctx string, f frame, st *Stats) expansion {
+// ExpandFrame re-establishes the frame's discovery state on the given
+// application instance (soft reset + click-path replay), activates the
+// control, and differences the before/after snapshots. It touches only the
+// instance, never a shared graph, and its result is a pure function of
+// (application, context, frame) — the property that makes expansions safe to
+// run on a pool of throwaway instances, ship to a serving replica, or
+// re-dispatch after a replica dies mid-rip. Exported for the dmi-serve
+// daemon's POST /v1/rip executor.
+func ExpandFrame(app *appkit.App, ctx string, f Frame) Expansion {
+	var st Stats
+	t0 := app.Desk.Clock().Now()
+	exp := expand(app, ctx, f, &st)
+	exp.Clicks = st.Clicks
+	exp.Snapshots = st.Snapshots
+	exp.Elapsed = app.Desk.Clock().Now() - t0
+	return exp
+}
+
+// expand is ExpandFrame's body, counting instance work into st.
+func expand(app *appkit.App, ctx string, f Frame, st *Stats) Expansion {
 	restore(app, ctx)
-	if !replay(app, f.path, st) {
-		return expansion{outcome: expandSkipped}
+	if !replay(app, f.Path, st) {
+		return Expansion{Outcome: ExpandSkipped}
 	}
 	before := capture(app, st)
-	el := before.byID[f.id]
+	el := before.byID[f.ID]
 	if el == nil || !el.OnScreen() || !el.Enabled() {
-		return expansion{outcome: expandSkipped}
+		return Expansion{Outcome: ExpandSkipped}
 	}
 	if app.Blocked(el) {
-		return expansion{outcome: expandBlocked}
+		return Expansion{Outcome: ExpandBlocked}
 	}
 	if err := app.Desk.Click(el); err != nil {
-		return expansion{outcome: expandSkipped}
+		return Expansion{Outcome: ExpandSkipped}
 	}
 	st.Clicks++
 	after := capture(app, st)
@@ -115,7 +144,7 @@ func expand(app *appkit.App, ctx string, f frame, st *Stats) expansion {
 	fresh := make(map[*uia.Element]bool)
 	for _, e := range after.order {
 		id := e.ControlID()
-		if id == f.id {
+		if id == f.ID {
 			continue
 		}
 		if _, present := before.byID[id]; present {
@@ -123,44 +152,64 @@ func expand(app *appkit.App, ctx string, f frame, st *Stats) expansion {
 		}
 		fresh[e] = true
 	}
-	var reveals []reveal
+	var reveals []Reveal
 	for _, e := range after.order {
 		if !fresh[e] {
 			continue
 		}
-		parent := f.id
+		parent := f.ID
 		if anc := nearestIn(e, fresh); anc != nil {
 			parent = anc.ControlID()
 		}
-		reveals = append(reveals, reveal{el: e, parent: parent})
+		reveals = append(reveals, captureReveal(e, parent))
 	}
-	return expansion{outcome: expandOK, reveals: reveals}
+	return Expansion{Outcome: ExpandOK, Reveals: reveals}
+}
+
+// captureReveal snapshots the element fields a graph node is built from —
+// the same fields Graph.Ensure reads off a live element, including the
+// ancestor walk behind LargeEnum, so a node created from a reveal is
+// byte-identical to one created from the element itself.
+func captureReveal(e *uia.Element, parent string) Reveal {
+	r := Reveal{
+		ID:     e.ControlID(),
+		Name:   e.Name(),
+		Type:   e.Type(),
+		Desc:   e.Description(),
+		Parent: parent,
+	}
+	for cur := e; cur != nil; cur = cur.Parent() {
+		if cur.LargeEnum() {
+			r.LargeEnum = true
+			break
+		}
+	}
+	return r
 }
 
 // applyExpansion folds one expansion into the shared graph, pushing frames
-// for controls seen for the first time. Both the sequential and the parallel
-// ripper apply expansions in exactly the same order, which is what keeps the
-// two byte-identical.
-func applyExpansion(g *Graph, cfg Config, ctx string, f frame, exp expansion, st *Stats, push func(id string, path []string)) {
-	switch exp.outcome {
-	case expandSkipped:
+// for controls seen for the first time. Every ripper — sequential, pooled,
+// distributed — applies expansions in exactly the same order, which is what
+// keeps all of them byte-identical.
+func applyExpansion(g *Graph, cfg Config, ctx string, f Frame, exp Expansion, st *Stats, push func(id string, path []string)) {
+	switch exp.Outcome {
+	case ExpandSkipped:
 		st.Skipped++
 		return
-	case expandBlocked:
+	case ExpandBlocked:
 		st.Blocked++
 		return
 	}
 	st.Explored++
-	for _, r := range exp.reveals {
-		id := r.el.ControlID()
-		_, existed := g.Nodes[id]
-		g.Ensure(id, r.el, ctx)
-		g.AddEdge(r.parent, id)
-		if !existed && len(f.path)+1 < cfg.MaxDepth {
-			next := make([]string, len(f.path)+1)
-			copy(next, f.path)
-			next[len(f.path)] = f.id
-			push(id, next)
+	for _, r := range exp.Reveals {
+		_, existed := g.Nodes[r.ID]
+		g.ensureReveal(r, ctx)
+		g.AddEdge(r.Parent, r.ID)
+		if !existed && len(f.Path)+1 < cfg.MaxDepth {
+			next := make([]string, len(f.Path)+1)
+			copy(next, f.Path)
+			next[len(f.Path)] = f.ID
+			push(r.ID, next)
 		}
 	}
 }
@@ -223,14 +272,14 @@ func Rip(app *appkit.App, cfg Config) (*Graph, Stats, error) {
 	start := app.Desk.Clock().Now()
 
 	queued := make(map[string]bool)
-	var stack []frame
+	var stack []Frame
 
 	push := func(id string, path []string) {
 		if queued[id] {
 			return
 		}
 		queued[id] = true
-		stack = append(stack, frame{id: id, path: path})
+		stack = append(stack, Frame{ID: id, Path: path})
 	}
 
 	contexts := ripContexts(app)
@@ -246,7 +295,7 @@ func Rip(app *appkit.App, cfg Config) (*Graph, Stats, error) {
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 
-			node := g.Nodes[f.id]
+			node := g.Nodes[f.ID]
 			if node == nil {
 				continue
 			}
